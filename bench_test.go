@@ -1,0 +1,317 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one benchmark per experiment, plus ablation benches for the
+// design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment end to end at the
+// default reduced scale; `medea-sim -scale 1 <fig>` runs paper-scale.
+package medea_test
+
+import (
+	"testing"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/experiments"
+	"medea/internal/lra"
+	"medea/internal/resource"
+	"medea/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Scale: 0.2, SolverBudget: 300 * time.Millisecond}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig1(benchOpts()); tab.NumRows() != 6 {
+			b.Fatal("fig1 rows")
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig2a(benchOpts()); tab.NumRows() != 3 {
+			b.Fatal("fig2a rows")
+		}
+	}
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig2b(benchOpts()); tab.NumRows() != 6 {
+			b.Fatal("fig2b rows")
+		}
+	}
+}
+
+func BenchmarkFig2c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig2c(benchOpts()); tab.NumRows() != 5 {
+			b.Fatal("fig2c rows")
+		}
+	}
+}
+
+func BenchmarkFig2d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig2d(benchOpts()); tab.NumRows() != 5 {
+			b.Fatal("fig2d rows")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig3(benchOpts()); tab.NumRows() == 0 {
+			b.Fatal("fig3 rows")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunTable1(benchOpts()); tab.NumRows() != 9 {
+			b.Fatal("table1 rows")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig7(benchOpts())
+		if len(res.Tables()) != 4 {
+			b.Fatal("fig7 tables")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig8(benchOpts()); tab.NumRows() != 2 {
+			b.Fatal("fig8 rows")
+		}
+	}
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig9a(benchOpts()); tab.NumRows() != 5 {
+			b.Fatal("fig9a rows")
+		}
+	}
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig9b(benchOpts()); tab.NumRows() != 6 {
+			b.Fatal("fig9b rows")
+		}
+	}
+}
+
+func BenchmarkFig9c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig9c(benchOpts()); tab.NumRows() != 6 {
+			b.Fatal("fig9c rows")
+		}
+	}
+}
+
+func BenchmarkFig9d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig9d(benchOpts()); tab.NumRows() != 6 {
+			b.Fatal("fig9d rows")
+		}
+	}
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunFig10(benchOpts()); res.Fragmentation.NumRows() != 5 {
+			b.Fatal("fig10a rows")
+		}
+	}
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if res := experiments.RunFig10(benchOpts()); res.LoadBalance.NumRows() != 5 {
+			b.Fatal("fig10b rows")
+		}
+	}
+}
+
+func BenchmarkFig11a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig11a(benchOpts()); tab.NumRows() == 0 {
+			b.Fatal("fig11a rows")
+		}
+	}
+}
+
+func BenchmarkFig11b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig11b(benchOpts()); tab.NumRows() != 5 {
+			b.Fatal("fig11b rows")
+		}
+	}
+}
+
+func BenchmarkFig11c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.RunFig11c(benchOpts()); tab.NumRows() != 2 {
+			b.Fatal("fig11c rows")
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+// ablationBatch measures the effect of considering multiple LRAs per
+// scheduling cycle (the core batching claim behind the ILP design).
+func ablationBatch(b *testing.B, perCycle int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cluster.Grid(100, 10, experiments.SimNodeCapacity)
+		apps := workload.InterAppBatch(nil, 8, 4, 2, "ab")
+		alg := lra.NewILP()
+		placeAll(b, c, alg, apps, perCycle)
+	}
+}
+
+func BenchmarkAblationBatch1(b *testing.B) { ablationBatch(b, 1) }
+func BenchmarkAblationBatch4(b *testing.B) { ablationBatch(b, 4) }
+
+// BenchmarkAblationPruning contrasts the default candidate budget with an
+// oversized one, showing what pruning buys in solver time.
+func BenchmarkAblationPruning(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		max  int
+	}{{"pruned", 0}, {"wide", 400}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cluster.Grid(400, 40, experiments.SimNodeCapacity)
+				apps := []*lra.Application{workload.HBase("ab", workload.DefaultHBase())}
+				alg := lra.NewILP()
+				res := alg.Place(c, apps, nil, lra.Options{
+					SolverBudget: 2 * time.Second, MaxCandidates: tc.max,
+				})
+				if res.PlacedApps() != 1 {
+					b.Fatal("unplaced")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWeights sweeps the violation weight w2, the soft-
+// constraint knob of Equation 1.
+func BenchmarkAblationWeights(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		w2   float64
+	}{{"w2=0.1", 0.1}, {"w2=0.5", 0.5}, {"w2=2.0", 2.0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cluster.Grid(60, 10, experiments.SimNodeCapacity)
+				apps := []*lra.Application{workload.HBase("ab", workload.DefaultHBase())}
+				opts := lra.Options{
+					Weights:      lra.Weights{W1: 1, W2: tc.w2, W3: 0.25},
+					SolverBudget: time.Second,
+				}
+				if res := lra.NewILP().Place(c, apps, nil, opts); res.PlacedApps() != 1 {
+					b.Fatal("unplaced")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTwoSidedScoring contrasts the greedy engine's
+// two-sided constraint scoring with Kubernetes' subject-only scoring by
+// comparing J-Kube and Serial on a split affinity pair.
+func BenchmarkAblationTwoSidedScoring(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		alg  func() lra.Algorithm
+	}{{"two-sided", lra.NewSerial}, {"subject-only", lra.NewJKube}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := cluster.Grid(40, 10, experiments.SimNodeCapacity)
+				a := &lra.Application{ID: "A", Groups: []lra.ContainerGroup{{
+					Name: "w", Count: 4, Demand: resource.WorkerProfile, Tags: []constraint.Tag{"ta"}}},
+					Constraints: []constraint.Constraint{
+						constraint.New(constraint.Affinity(constraint.E("ta"), constraint.E("tb"), constraint.Node)),
+					}}
+				bApp := &lra.Application{ID: "B", Groups: []lra.ContainerGroup{{
+					Name: "w", Count: 4, Demand: resource.WorkerProfile, Tags: []constraint.Tag{"tb"}}}}
+				placeAll(b, c, tc.alg(), []*lra.Application{a, bApp}, 1)
+			}
+		})
+	}
+}
+
+// placeAll drives batches through an algorithm directly, committing
+// assignments to the cluster.
+func placeAll(b *testing.B, c *cluster.Cluster, alg lra.Algorithm, apps []*lra.Application, perCycle int) {
+	b.Helper()
+	for i := 0; i < len(apps); i += perCycle {
+		end := i + perCycle
+		if end > len(apps) {
+			end = len(apps)
+		}
+		res := alg.Place(c, apps[i:end], nil, lra.Options{SolverBudget: 300 * time.Millisecond})
+		for _, p := range res.Placements {
+			for _, asg := range p.Assignments {
+				if err := c.Allocate(asg.Node, asg.Container, asg.Demand, asg.Tags); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// Micro-benchmarks of the hot substrate paths.
+
+func BenchmarkILPSolveSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cluster.Grid(50, 10, experiments.SimNodeCapacity)
+		apps := []*lra.Application{workload.HBase("m", workload.DefaultHBase())}
+		if res := lra.NewILP().Place(c, apps, nil, lra.Options{SolverBudget: time.Second}); res.PlacedApps() != 1 {
+			b.Fatal("unplaced")
+		}
+	}
+}
+
+func BenchmarkGreedyPlace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cluster.Grid(500, 50, experiments.SimNodeCapacity)
+		apps := []*lra.Application{workload.TensorFlow("m", workload.DefaultTF())}
+		if res := lra.NewTagPopularity().Place(c, apps, nil, lra.Options{}); res.PlacedApps() != 1 {
+			b.Fatal("unplaced")
+		}
+	}
+}
+
+func BenchmarkClusterAllocate(b *testing.B) {
+	c := cluster.Grid(100, 10, experiments.SimNodeCapacity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cluster.MakeContainerID("bench", i)
+		node := cluster.NodeID(i % 100)
+		if err := c.Allocate(node, id, resource.New(1, 0), []constraint.Tag{"t"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Release(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

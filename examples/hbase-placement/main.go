@@ -1,0 +1,84 @@
+// hbase-placement: the paper's §2.2 motivation, as a runnable program.
+// Deploys several HBase instances twice — once with YARN-style
+// constraint-unaware placement and once with Medea's anti-affinity — and
+// compares the modeled YCSB throughput of the two placements.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"medea"
+	"medea/internal/perfmodel"
+	"medea/internal/sim"
+	"medea/internal/workload"
+)
+
+func deploy(alg medea.Algorithm, antiAffinity bool) (*medea.Cluster, *medea.Medea, []*medea.Application) {
+	c := medea.NewCluster(80, 20, medea.Resource(16384, 8))
+	m := medea.New(c, alg, medea.Config{})
+	now := time.Now()
+	var apps []*medea.Application
+	for i := 0; i < 8; i++ {
+		cfg := workload.HBaseConfig{Workers: 10}
+		if antiAffinity {
+			cfg.MaxWorkersPerNode = 1 // region servers never share a node
+		}
+		app := workload.HBase(fmt.Sprintf("hbase-%02d", i), cfg)
+		apps = append(apps, app)
+		if err := m.SubmitLRA(app, now); err != nil {
+			panic(err)
+		}
+		if i%2 == 1 {
+			m.RunCycle(now)
+			now = now.Add(10 * time.Second)
+		}
+	}
+	m.RunCycle(now)
+	return c, m, apps
+}
+
+func avgCollocation(c *medea.Cluster, m *medea.Medea, apps []*medea.Application) float64 {
+	others, rs := 0, 0
+	for _, app := range apps {
+		ids, ok := m.Deployed(app.ID)
+		if !ok {
+			continue
+		}
+		for _, id := range ids {
+			tags, _ := c.ContainerTags(id)
+			if !medea.E(workload.TagHBaseWorker).Matches(tags) {
+				continue
+			}
+			node, _ := c.ContainerNode(id)
+			others += c.GammaNode(node, medea.E(workload.TagHBaseWorker)) - 1
+			rs++
+		}
+	}
+	if rs == 0 {
+		return 0
+	}
+	return float64(others) / float64(rs)
+}
+
+func main() {
+	rng := sim.RNG(7, "example")
+
+	cY, mY, appsY := deploy(medea.YARN(), false)
+	collY := avgCollocation(cY, mY, appsY)
+
+	cM, mM, appsM := deploy(medea.ILP(), true)
+	collM := avgCollocation(cM, mM, appsM)
+
+	fmt.Printf("avg collocated region servers: YARN=%.2f MEDEA=%.2f\n\n", collY, collM)
+	fmt.Printf("%-8s  %-14s  %-14s\n", "workload", "YARN (Kops/s)", "MEDEA (Kops/s)")
+	for _, w := range []byte{'A', 'B', 'C', 'D', 'E', 'F'} {
+		ty := perfmodel.YCSBThroughput(w, collY, false, rng)
+		tm := perfmodel.YCSBThroughput(w, collM, false, rng)
+		fmt.Printf("%-8s  %-14.1f  %-14.1f\n", string(w), ty, tm)
+	}
+
+	repM := medea.Evaluate(cM, mM)
+	fmt.Printf("\nMedea placement: %d containers, %d violations\n",
+		cM.NumContainers(), repM.ViolatedContainers)
+}

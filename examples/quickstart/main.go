@@ -1,0 +1,66 @@
+// Quickstart: stand up a simulated cluster, submit a long-running
+// application with placement constraints, run one Medea scheduling cycle
+// and inspect where the containers landed.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"medea"
+)
+
+func main() {
+	// A 40-node cluster (16 GB / 8 cores each) in racks of 10.
+	c := medea.NewCluster(40, 10, medea.Resource(16384, 8))
+
+	// Medea with the ILP-based LRA scheduler and the default task queue.
+	m := medea.New(c, medea.ILP(), medea.Config{Interval: 10 * time.Second})
+
+	// An HBase-like LRA: one master, ten region servers. Constraints:
+	//   - at most 2 region servers per node (cardinality: each sees ≤1 other),
+	//   - master on a different node from every region server (anti-affinity),
+	//   - all region servers on one rack (affinity).
+	app := &medea.Application{
+		ID: "hbase-demo",
+		Groups: []medea.ContainerGroup{
+			{Name: "master", Count: 1, Demand: medea.Resource(1024, 1), Tags: []medea.Tag{"hb", "hb_m"}},
+			{Name: "rs", Count: 10, Demand: medea.Resource(2048, 1), Tags: []medea.Tag{"hb", "hb_rs"}},
+		},
+		Constraints: []medea.Constraint{
+			medea.MustParse("{hb_rs, {hb_rs, 0, 1}, node}"),
+			medea.MustParse("{hb_m, {hb_rs, 0, 0}, node}"),
+			medea.Affinity(medea.E("hb_rs"), medea.E("hb_rs"), medea.RackGroup),
+		},
+	}
+
+	now := time.Now()
+	if err := m.SubmitLRA(app, now); err != nil {
+		panic(err)
+	}
+	stats := m.RunCycle(now)
+	fmt.Printf("cycle: batch=%d placed=%d latency=%s\n",
+		stats.Batch, stats.Placed, stats.AlgLatency.Round(time.Microsecond))
+
+	ids, ok := m.Deployed("hbase-demo")
+	if !ok {
+		panic("application not placed")
+	}
+	perNode := map[medea.NodeID]int{}
+	for _, id := range ids {
+		node, _ := c.ContainerNode(id)
+		perNode[node]++
+		tags, _ := c.ContainerTags(id)
+		fmt.Printf("  %-16s -> %s (tags %v)\n", id, c.Node(node).Name, tags)
+	}
+
+	rep := medea.Evaluate(c, m)
+	fmt.Printf("constraint check: %d/%d containers violating (extent %.2f)\n",
+		rep.ViolatedContainers, rep.SubjectContainers, rep.TotalExtent)
+	for node, n := range perNode {
+		if n > 2+1 { // ≤2 region servers + possibly the master
+			fmt.Printf("unexpected pile-up on node %d: %d containers\n", node, n)
+		}
+	}
+	fmt.Println("done.")
+}

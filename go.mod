@@ -1,0 +1,3 @@
+module medea
+
+go 1.22

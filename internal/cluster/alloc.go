@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+// Allocate places a container on a node, charging its resource demand and
+// adding its tags to the node's tag set and to the tag set of every node
+// set (in every group) containing the node. It fails when the node lacks
+// free resources, is unavailable, or the container ID is already in use.
+func (c *Cluster) Allocate(node NodeID, id ContainerID, demand resource.Vector, tags []constraint.Tag) error {
+	if int(node) < 0 || int(node) >= len(c.nodes) {
+		return fmt.Errorf("cluster: allocate on unknown node %d", node)
+	}
+	if _, exists := c.containers[id]; exists {
+		return fmt.Errorf("cluster: container %s already allocated", id)
+	}
+	n := c.nodes[node]
+	if !n.available {
+		return fmt.Errorf("cluster: node %s is unavailable", n.Name)
+	}
+	if !demand.Fits(n.Free()) {
+		return fmt.Errorf("cluster: container %s %v does not fit on %s (free %v)",
+			id, demand, n.Name, n.Free())
+	}
+	n.used = n.used.Add(demand)
+	n.containers[id] = struct{}{}
+	c.addTags(node, tags)
+	c.containers[id] = containerInfo{node: node, demand: demand, tags: append([]constraint.Tag(nil), tags...)}
+	return nil
+}
+
+// Release frees a container, returning its resources and removing its tags
+// (the node tag set is dynamic: tags are removed when the container
+// finishes execution, §4.1).
+func (c *Cluster) Release(id ContainerID) error {
+	info, ok := c.containers[id]
+	if !ok {
+		return fmt.Errorf("cluster: release of unknown container %s", id)
+	}
+	n := c.nodes[info.node]
+	n.used = n.used.Sub(info.demand)
+	delete(n.containers, id)
+	c.removeTags(info.node, info.tags)
+	delete(c.containers, id)
+	return nil
+}
+
+// addTags inserts one container's tags into the node tag set and into
+// every containing node-set tag set of every registered group. The "node"
+// group shares the node's own tag set, so it is skipped to avoid double
+// counting.
+func (c *Cluster) addTags(node NodeID, tags []constraint.Tag) {
+	c.nodes[node].tags.AddContainer(tags)
+	for name, g := range c.groups {
+		if name == constraint.Node {
+			continue
+		}
+		for _, sid := range g.ofNode[node] {
+			g.tagSets[sid].AddContainer(tags)
+		}
+	}
+}
+
+func (c *Cluster) removeTags(node NodeID, tags []constraint.Tag) {
+	c.nodes[node].tags.RemoveContainer(tags)
+	for name, g := range c.groups {
+		if name == constraint.Node {
+			continue
+		}
+		for _, sid := range g.ofNode[node] {
+			g.tagSets[sid].RemoveContainer(tags)
+		}
+	}
+}
+
+// AddStaticTags attaches permanent machine attributes (e.g. "gpu") to a
+// node, expressed as a synthetic never-released container so the tag model
+// subsumes static attributes (§4.1 "a subset of a node tag set can also be
+// defined statically").
+func (c *Cluster) AddStaticTags(node NodeID, tags ...constraint.Tag) {
+	c.staticSeq++
+	c.staticCount++
+	id := ContainerID(fmt.Sprintf("static:%d#%d", node, c.staticSeq))
+	c.containers[id] = containerInfo{node: node, tags: append([]constraint.Tag(nil), tags...)}
+	c.nodes[node].containers[id] = struct{}{}
+	c.addTags(node, tags)
+}
+
+// ContainerNode returns the node hosting a container.
+func (c *Cluster) ContainerNode(id ContainerID) (NodeID, bool) {
+	info, ok := c.containers[id]
+	return info.node, ok
+}
+
+// ContainerTags returns the tags of an allocated container.
+func (c *Cluster) ContainerTags(id ContainerID) ([]constraint.Tag, bool) {
+	info, ok := c.containers[id]
+	return info.tags, ok
+}
+
+// NumContainers returns the number of allocated containers cluster-wide,
+// excluding static-attribute pseudo-containers.
+func (c *Cluster) NumContainers() int { return len(c.containers) - c.staticCount }
+
+// Gamma returns γ𝒮(expr): the number of containers in set sid of the
+// group whose tag vectors match the whole conjunction expr (§4.1).
+func (c *Cluster) Gamma(name constraint.GroupName, sid SetID, expr constraint.Expr) int {
+	g := c.groups[name]
+	if g == nil {
+		return 0
+	}
+	return g.tagSets[sid].CountExpr(expr)
+}
+
+// GammaNode is Gamma over the singleton set of the "node" group.
+func (c *Cluster) GammaNode(node NodeID, expr constraint.Expr) int {
+	return c.nodes[node].tags.CountExpr(expr)
+}
+
+// SetAvailable marks a node up or down. Marking a node down does not
+// release its containers (their fate is the application's concern, as in
+// the resilience study of §7.3); it only stops new allocations.
+func (c *Cluster) SetAvailable(node NodeID, up bool) {
+	c.nodes[node].available = up
+}
+
+// Clone returns a deep copy of the cluster, used by schedulers for
+// tentative what-if placement without disturbing live state.
+func (c *Cluster) Clone() *Cluster {
+	cc := New()
+	cc.staticSeq = c.staticSeq
+	for _, n := range c.nodes {
+		cc.AddNode(n.Name, n.Capacity)
+	}
+	for name, g := range c.groups {
+		if name == constraint.Node {
+			continue
+		}
+		sets := make([][]NodeID, len(g.sets))
+		for i, s := range g.sets {
+			sets[i] = append([]NodeID(nil), s...)
+		}
+		if err := cc.RegisterGroup(name, sets); err != nil {
+			panic(err) // unreachable: copying a valid cluster
+		}
+		copy(cc.groups[name].setNames, g.setNames)
+	}
+	for id, info := range c.containers {
+		if info.demand.IsZero() && len(info.tags) > 0 {
+			// static-attribute pseudo-container
+			cc.containers[id] = containerInfo{node: info.node, tags: info.tags}
+			cc.nodes[info.node].containers[id] = struct{}{}
+			cc.addTags(info.node, info.tags)
+			cc.staticCount++
+			continue
+		}
+		if err := cc.Allocate(info.node, id, info.demand, info.tags); err != nil {
+			panic(fmt.Sprintf("cluster: clone re-allocate %s: %v", id, err))
+		}
+	}
+	// Availability is copied last so that containers on currently-down
+	// nodes re-allocate cleanly above.
+	for i, n := range c.nodes {
+		cc.nodes[i].available = n.available
+	}
+	return cc
+}
+
+// ContainerIDs returns all allocated container IDs, sorted, excluding
+// static-attribute pseudo-containers.
+func (c *Cluster) ContainerIDs() []ContainerID {
+	out := make([]ContainerID, 0, len(c.containers))
+	for id := range c.containers {
+		if len(id) > 7 && id[:7] == "static:" {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainerDemand returns the resource demand of an allocated container
+// (zero for unknown IDs and static-attribute pseudo-containers).
+func (c *Cluster) ContainerDemand(id ContainerID) resource.Vector {
+	return c.containers[id].demand
+}

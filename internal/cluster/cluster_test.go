@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	return Grid(8, 4, resource.New(16384, 8))
+}
+
+func TestGridTopology(t *testing.T) {
+	c := testCluster(t)
+	if c.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	if got := c.NumSets(constraint.Rack); got != 2 {
+		t.Errorf("racks = %d, want 2", got)
+	}
+	if got := c.NumSets(constraint.Node); got != 8 {
+		t.Errorf("node sets = %d, want 8", got)
+	}
+	// Node 5 is in rack 1.
+	sets := c.SetsOfNode(constraint.Rack, 5)
+	if len(sets) != 1 || sets[0] != 1 {
+		t.Errorf("SetsOfNode(rack, 5) = %v, want [1]", sets)
+	}
+	if got := len(c.SetMembers(constraint.Rack, 0)); got != 4 {
+		t.Errorf("rack 0 size = %d", got)
+	}
+}
+
+func TestGridUnevenLastRack(t *testing.T) {
+	c := Grid(10, 4, resource.New(1024, 1))
+	if got := c.NumSets(constraint.Rack); got != 3 {
+		t.Errorf("racks = %d, want 3", got)
+	}
+	if got := len(c.SetMembers(constraint.Rack, 2)); got != 2 {
+		t.Errorf("last rack size = %d, want 2", got)
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	c := testCluster(t)
+	d := resource.New(2048, 1)
+	if err := c.Allocate(0, "a#0", d, []constraint.Tag{"hb", "hb_m"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(0).Used(); got != d {
+		t.Errorf("Used = %v", got)
+	}
+	if got := c.GammaNode(0, constraint.E("hb")); got != 1 {
+		t.Errorf("γ(hb) on node = %d", got)
+	}
+	if got := c.Gamma(constraint.Rack, 0, constraint.E("hb")); got != 1 {
+		t.Errorf("γ(hb) on rack = %d", got)
+	}
+	if got := c.Gamma(constraint.Rack, 1, constraint.E("hb")); got != 0 {
+		t.Errorf("γ(hb) on other rack = %d", got)
+	}
+	nid, ok := c.ContainerNode("a#0")
+	if !ok || nid != 0 {
+		t.Errorf("ContainerNode = %d,%v", nid, ok)
+	}
+	if err := c.Release("a#0"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Node(0).Used().IsZero() {
+		t.Errorf("Used after release = %v", c.Node(0).Used())
+	}
+	if got := c.Gamma(constraint.Rack, 0, constraint.E("hb")); got != 0 {
+		t.Errorf("γ(hb) after release = %d", got)
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	c := testCluster(t)
+	d := resource.New(2048, 1)
+	if err := c.Allocate(99, "x#0", d, nil); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := c.Allocate(0, "x#0", resource.New(1<<30, 1), nil); err == nil {
+		t.Error("oversized demand accepted")
+	}
+	if err := c.Allocate(0, "x#0", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(1, "x#0", d, nil); err == nil {
+		t.Error("duplicate container ID accepted")
+	}
+	c.SetAvailable(2, false)
+	if err := c.Allocate(2, "y#0", d, nil); err == nil {
+		t.Error("allocation on unavailable node accepted")
+	}
+	if err := c.Release("ghost"); err == nil {
+		t.Error("release of unknown container accepted")
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	c := Grid(1, 1, resource.New(4096, 4))
+	d := resource.New(2048, 1)
+	if err := c.Allocate(0, "a#0", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(0, "a#1", d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(0, "a#2", d, nil); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+	if got := c.Node(0).Free(); got.MemoryMB != 0 || got.VCores != 2 {
+		t.Errorf("Free = %v, want <0MB,2c>", got)
+	}
+}
+
+func TestStaticTags(t *testing.T) {
+	c := testCluster(t)
+	c.AddStaticTags(3, "gpu")
+	if got := c.GammaNode(3, constraint.E("gpu")); got != 1 {
+		t.Errorf("γ(gpu) = %d", got)
+	}
+	if got := c.Gamma(constraint.Rack, 0, constraint.E("gpu")); got != 1 {
+		t.Errorf("rack γ(gpu) = %d", got)
+	}
+}
+
+func TestRegisterGroupOverlapping(t *testing.T) {
+	c := testCluster(t)
+	// Upgrade domains that overlap: node 0 in two domains.
+	err := c.RegisterGroup(constraint.UpgradeDomain, [][]NodeID{{0, 1}, {0, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := c.SetsOfNode(constraint.UpgradeDomain, 0)
+	if len(sets) != 2 {
+		t.Errorf("overlapping membership = %v", sets)
+	}
+	if err := c.Allocate(0, "a#0", resource.New(1024, 1), []constraint.Tag{"t"}); err != nil {
+		t.Fatal(err)
+	}
+	// The tag must appear in both containing domains.
+	for _, sid := range sets {
+		if got := c.Gamma(constraint.UpgradeDomain, sid, constraint.E("t")); got != 1 {
+			t.Errorf("γ(t) in domain %d = %d, want 1", sid, got)
+		}
+	}
+}
+
+func TestRegisterGroupErrors(t *testing.T) {
+	c := testCluster(t)
+	if err := c.RegisterGroup(constraint.Node, nil); err == nil {
+		t.Error("re-registering predefined node group accepted")
+	}
+	if err := c.RegisterGroup("foo", [][]NodeID{{99}}); err == nil {
+		t.Error("unknown node in group accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := Grid(2, 2, resource.New(1024, 1))
+	if got := c.Utilization(); got != 0 {
+		t.Errorf("empty utilization = %v", got)
+	}
+	if err := c.Allocate(0, "a#0", resource.New(1024, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	if got := c.MemoryUtilization(); got != 0.5 {
+		t.Errorf("mem utilization = %v, want 0.5", got)
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	c := Grid(2, 2, resource.New(4096, 4))
+	// Node 0: leave 1024MB/1c free -> fragmented (below 2GB).
+	if err := c.Allocate(0, "a#0", resource.New(3072, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FragmentedNodeFraction(); got != 0.5 {
+		t.Errorf("fragmented fraction = %v, want 0.5", got)
+	}
+	// Fully utilised node does not count as fragmented.
+	if err := c.Allocate(1, "b#0", resource.New(4096, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FragmentedNodeFraction(); got != 0.5 {
+		t.Errorf("fragmented fraction with full node = %v, want 0.5", got)
+	}
+}
+
+func TestMemoryUtilizationCV(t *testing.T) {
+	c := Grid(2, 2, resource.New(4096, 4))
+	if got := c.MemoryUtilizationCV(); got != 0 {
+		t.Errorf("CV of empty cluster = %v", got)
+	}
+	// Perfectly balanced: CV 0.
+	_ = c.Allocate(0, "a#0", resource.New(2048, 1), nil)
+	_ = c.Allocate(1, "a#1", resource.New(2048, 1), nil)
+	if got := c.MemoryUtilizationCV(); got != 0 {
+		t.Errorf("balanced CV = %v, want 0", got)
+	}
+	// Imbalance raises CV.
+	_ = c.Allocate(0, "a#2", resource.New(2048, 1), nil)
+	if got := c.MemoryUtilizationCV(); got <= 0 {
+		t.Errorf("imbalanced CV = %v, want > 0", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := testCluster(t)
+	_ = c.RegisterGroup(constraint.UpgradeDomain, [][]NodeID{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	c.AddStaticTags(1, "gpu")
+	if err := c.Allocate(0, "a#0", resource.New(2048, 1), []constraint.Tag{"hb"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetAvailable(7, false)
+	cc := c.Clone()
+	// Copy is faithful.
+	if cc.NumNodes() != c.NumNodes() || cc.NumContainers() != c.NumContainers() {
+		t.Fatal("clone size mismatch")
+	}
+	if got := cc.Gamma(constraint.Rack, 0, constraint.E("hb")); got != 1 {
+		t.Errorf("clone rack γ(hb) = %d", got)
+	}
+	if got := cc.GammaNode(1, constraint.E("gpu")); got != 1 {
+		t.Errorf("clone static γ(gpu) = %d", got)
+	}
+	if cc.Node(7).Available() {
+		t.Error("clone lost availability flag")
+	}
+	// Copy is independent.
+	if err := cc.Allocate(1, "b#0", resource.New(1024, 1), []constraint.Tag{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.GammaNode(1, constraint.E("x")); got != 0 {
+		t.Errorf("clone mutation leaked to original: γ(x) = %d", got)
+	}
+}
+
+func TestCloneUnavailableNodeWithContainers(t *testing.T) {
+	c := testCluster(t)
+	if err := c.Allocate(0, "a#0", resource.New(2048, 1), []constraint.Tag{"t"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetAvailable(0, false)
+	cc := c.Clone()
+	if cc.Node(0).Available() {
+		t.Error("availability not copied")
+	}
+	if got := cc.GammaNode(0, constraint.E("t")); got != 1 {
+		t.Errorf("container on down node lost in clone: γ = %d", got)
+	}
+}
+
+// Property: for random allocate/release sequences, node used resources
+// equal the sum of live container demands and γ stays consistent.
+func TestAllocReleaseInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := Grid(4, 2, resource.New(8192, 8))
+		live := make(map[ContainerID]resource.Vector)
+		seq := 0
+		for _, op := range ops {
+			node := NodeID(op % 4)
+			if op%3 == 0 && len(live) > 0 {
+				for id := range live {
+					if c.Release(id) != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+				continue
+			}
+			seq++
+			id := MakeContainerID("p", seq)
+			d := resource.New(int64(1+op%4)*512, 1)
+			if err := c.Allocate(node, id, d, []constraint.Tag{"p"}); err == nil {
+				live[id] = d
+			}
+		}
+		var want resource.Vector
+		for _, d := range live {
+			want = want.Add(d)
+		}
+		if c.TotalUsed() != want {
+			return false
+		}
+		total := 0
+		for n := 0; n < 4; n++ {
+			total += c.GammaNode(NodeID(n), constraint.E("p"))
+		}
+		return total == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

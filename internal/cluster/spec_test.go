@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+const specJSON = `{
+  "nodes": [
+    {"name": "n0", "memoryMB": 16384, "vcores": 8, "tags": ["gpu"]},
+    {"name": "n1", "memoryMB": 16384, "vcores": 8},
+    {"name": "n2", "memoryMB": 8192,  "vcores": 4, "unavailable": true}
+  ],
+  "groups": {
+    "rack":           [["n0", "n1"], ["n2"]],
+    "upgrade_domain": [["n0", "n2"], ["n1"]]
+  }
+}`
+
+func TestLoadSpec(t *testing.T) {
+	c, err := LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", c.NumNodes())
+	}
+	if got := c.NumSets(constraint.Rack); got != 2 {
+		t.Errorf("racks = %d", got)
+	}
+	if got := c.NumSets(constraint.UpgradeDomain); got != 2 {
+		t.Errorf("upgrade domains = %d", got)
+	}
+	if got := c.GammaNode(0, constraint.E("gpu")); got != 1 {
+		t.Errorf("static tag γ(gpu) = %d", got)
+	}
+	if c.Node(2).Available() {
+		t.Error("n2 should start unavailable")
+	}
+	if c.Node(2).Capacity != resource.New(8192, 4) {
+		t.Errorf("n2 capacity = %v", c.Node(2).Capacity)
+	}
+	// Cross-group membership from the spec.
+	ud := c.SetsOfNode(constraint.UpgradeDomain, 0)
+	if len(ud) != 1 || ud[0] != 0 {
+		t.Errorf("n0 upgrade domain = %v", ud)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{}, // no nodes
+		{Nodes: []NodeSpec{{Name: "", MemoryMB: 1, VCores: 1}}},
+		{Nodes: []NodeSpec{{Name: "a", MemoryMB: 1, VCores: 1}, {Name: "a", MemoryMB: 1, VCores: 1}}},
+		{Nodes: []NodeSpec{{Name: "a", MemoryMB: 0, VCores: 1}}},
+		{Nodes: []NodeSpec{{Name: "a", MemoryMB: 1, VCores: 1}},
+			Groups: map[string][][]string{"rack": {{"ghost"}}}},
+		{Nodes: []NodeSpec{{Name: "a", MemoryMB: 1, VCores: 1}},
+			Groups: map[string][][]string{"node": {{"a"}}}}, // predefined
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestLoadSpecErrors(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadSpec(strings.NewReader(`{"nodes": [], "bogusField": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestSpecRoundTripThroughScheduling(t *testing.T) {
+	c, err := LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocation works on spec-built clusters, including group bookkeeping.
+	if err := c.Allocate(0, "a#0", resource.New(1024, 1), []constraint.Tag{"t"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Gamma(constraint.UpgradeDomain, 0, constraint.E("t")); got != 1 {
+		t.Errorf("γ(t) in upgrade domain = %d", got)
+	}
+	// Unavailable node from the spec rejects allocations.
+	if err := c.Allocate(2, "a#1", resource.New(1024, 1), nil); err == nil {
+		t.Error("allocation on unavailable spec node accepted")
+	}
+}
+
+func TestTakeSnapshot(t *testing.T) {
+	c, err := LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(0, "a#0", resource.New(2048, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.TakeSnapshot()
+	if len(snap.Nodes) != 3 || snap.Containers != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	n0 := snap.Nodes[0]
+	// n0 hosts one real container plus the static-tag pseudo-container.
+	if n0.UsedMB != 2048 || n0.FreeMB != 14336 || n0.Containers != 2 { // real + static pseudo-container
+		t.Errorf("n0 snapshot = %+v", n0)
+	}
+	if snap.Nodes[2].Available {
+		t.Error("snapshot lost availability")
+	}
+	// Snapshot must serialise cleanly.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot marshal: %v", err)
+	}
+	if snap.MemoryUtilization <= 0 {
+		t.Errorf("utilization = %v", snap.MemoryUtilization)
+	}
+}

@@ -1,0 +1,111 @@
+package constraint
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestManagerAddRemove(t *testing.T) {
+	m := NewManager()
+	if err := m.AddApplication("app1", New(Affinity(E("a"), E("b"), Node))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddApplication("app2", New(AntiAffinity(E("c"), E("d"), Rack))); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddOperator(New(MaxCardinality(E("spark"), E("spark"), 5, Rack))); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := len(m.Active()); got != 3 {
+		t.Errorf("Active = %d entries, want 3", got)
+	}
+	if got := m.Apps(); len(got) != 2 || got[0] != "app1" || got[1] != "app2" {
+		t.Errorf("Apps = %v", got)
+	}
+	m.RemoveApplication("app1")
+	if got := m.Len(); got != 2 {
+		t.Errorf("Len after remove = %d, want 2", got)
+	}
+	if got := len(m.Application("app1")); got != 0 {
+		t.Errorf("removed app still has %d constraints", got)
+	}
+	if got := len(m.Operator()); got != 1 {
+		t.Errorf("Operator = %d, want 1", got)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	m := NewManager()
+	if err := m.AddApplication("", New(Affinity(E("a"), E("b"), Node))); err == nil {
+		t.Error("empty app ID accepted")
+	}
+	if err := m.AddApplication("x", Constraint{}); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+	if err := m.AddOperator(Constraint{}); err == nil {
+		t.Error("invalid operator constraint accepted")
+	}
+}
+
+func TestManagerActiveOrderDeterministic(t *testing.T) {
+	m := NewManager()
+	_ = m.AddApplication("b", New(Affinity(E("x"), E("y"), Node)))
+	_ = m.AddApplication("a", New(Affinity(E("x"), E("y"), Node)))
+	act := m.Active()
+	if act[0].AppID != "a" || act[1].AppID != "b" {
+		t.Errorf("Active not sorted by app: %v, %v", act[0].AppID, act[1].AppID)
+	}
+}
+
+func TestManagerConcurrency(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			appID := string(rune('a' + i%4))
+			_ = m.AddApplication(appID, New(Affinity(E("s"), E("t"), Node)))
+			_ = m.Active()
+			_ = m.Len()
+			m.RemoveApplication(appID)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestResolveConflicts covers §5.2: an operator constraint of "no more
+// than 3 spark per rack" overrides an application's "no more than 5",
+// because it is more restrictive; a *less* restrictive operator constraint
+// does not override.
+func TestResolveConflicts(t *testing.T) {
+	app := Entry{AppID: "a", Source: SourceApplication,
+		Constraint: New(MaxCardinality(E("spark"), E("spark"), 5, Rack))}
+	opTight := Entry{Source: SourceOperator,
+		Constraint: New(MaxCardinality(E("spark"), E("spark"), 3, Rack))}
+	out := ResolveConflicts([]Entry{app, opTight})
+	a, _ := out[0].Constraint.Simple()
+	if a.Max != 3 {
+		t.Errorf("application cmax = %d after resolve, want 3 (operator override)", a.Max)
+	}
+
+	opLoose := Entry{Source: SourceOperator,
+		Constraint: New(MaxCardinality(E("spark"), E("spark"), 9, Rack))}
+	out = ResolveConflicts([]Entry{app, opLoose})
+	a, _ = out[0].Constraint.Simple()
+	if a.Max != 5 {
+		t.Errorf("application cmax = %d, want 5 (loose operator must not override)", a.Max)
+	}
+
+	// Different group: no conflict, no override.
+	opOther := Entry{Source: SourceOperator,
+		Constraint: New(MaxCardinality(E("spark"), E("spark"), 1, Node))}
+	out = ResolveConflicts([]Entry{app, opOther})
+	a, _ = out[0].Constraint.Simple()
+	if a.Max != 5 {
+		t.Errorf("cross-group override happened: cmax = %d", a.Max)
+	}
+}

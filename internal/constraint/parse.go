@@ -1,0 +1,177 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses the paper's constraint syntax, extended with weights and
+// boolean structure:
+//
+//	constraint := [ weight ":" ] term ( "|" term )*
+//	term       := atom ( "&" atom )*
+//	atom       := "{" subject "," "{" target "," min "," max "}" "," group "}"
+//	subject    := tag ( "&" tag )*        // conjunction of tags
+//	target     := tag ( "&" tag )*
+//	min        := integer
+//	max        := integer | "inf"
+//
+// Examples:
+//
+//	{storm, {hb & mem, 1, inf}, node}
+//	{storm, {hb, 0, 0}, upgrade_domain}
+//	2.5: {spark, {spark, 3, 10}, rack}
+//	{a, {b,0,0}, node} | {a, {b,1,inf}, rack}
+func Parse(s string) (Constraint, error) {
+	s = strings.TrimSpace(s)
+	weight := 0.0
+	// An optional "W:" prefix before the first '{' sets the weight. Tags
+	// may themselves contain ':' (namespaces), but only inside braces, so
+	// looking before the first '{' is unambiguous.
+	if i := strings.Index(s, ":"); i >= 0 {
+		if j := strings.Index(s, "{"); j < 0 || i < j {
+			w, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+			if err != nil {
+				return Constraint{}, fmt.Errorf("constraint: bad weight %q: %v", s[:i], err)
+			}
+			if w < 0 {
+				return Constraint{}, fmt.Errorf("constraint: negative weight %v", w)
+			}
+			weight = w
+			s = strings.TrimSpace(s[i+1:])
+		}
+	}
+	termStrs, err := splitTop(s, '|')
+	if err != nil {
+		return Constraint{}, err
+	}
+	c := Constraint{Weight: weight}
+	for _, ts := range termStrs {
+		atomStrs, err := splitTop(ts, '&')
+		if err != nil {
+			return Constraint{}, err
+		}
+		var term []Atom
+		for _, as := range atomStrs {
+			a, err := parseAtom(as)
+			if err != nil {
+				return Constraint{}, err
+			}
+			term = append(term, a)
+		}
+		if len(term) == 0 {
+			return Constraint{}, fmt.Errorf("constraint: empty term in %q", s)
+		}
+		c.Terms = append(c.Terms, term)
+	}
+	if err := c.Validate(); err != nil {
+		return Constraint{}, err
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(s string) Constraint {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// splitTop splits s on sep occurring at brace depth zero.
+func splitTop(s string, sep byte) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("constraint: unbalanced '}' in %q", s)
+			}
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("constraint: unbalanced '{' in %q", s)
+	}
+	parts = append(parts, s[start:])
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return Atom{}, fmt.Errorf("constraint: atom %q must be brace-delimited", s)
+	}
+	inner := s[1 : len(s)-1]
+	// inner = subject , { target, min, max } , group
+	fields, err := splitTop(inner, ',')
+	if err != nil {
+		return Atom{}, err
+	}
+	if len(fields) != 3 {
+		return Atom{}, fmt.Errorf("constraint: atom %q must have 3 fields, got %d", s, len(fields))
+	}
+	subject, err := parseExpr(fields[0])
+	if err != nil {
+		return Atom{}, err
+	}
+	tc := fields[1]
+	if !strings.HasPrefix(tc, "{") || !strings.HasSuffix(tc, "}") {
+		return Atom{}, fmt.Errorf("constraint: tag constraint %q must be brace-delimited", tc)
+	}
+	tcFields, err := splitTop(tc[1:len(tc)-1], ',')
+	if err != nil {
+		return Atom{}, err
+	}
+	if len(tcFields) != 3 {
+		return Atom{}, fmt.Errorf("constraint: tag constraint %q must be {tag, min, max}", tc)
+	}
+	target, err := parseExpr(tcFields[0])
+	if err != nil {
+		return Atom{}, err
+	}
+	cmin, err := strconv.Atoi(tcFields[1])
+	if err != nil {
+		return Atom{}, fmt.Errorf("constraint: bad cmin %q: %v", tcFields[1], err)
+	}
+	var cmax int
+	if tcFields[2] == "inf" || tcFields[2] == "INF" || tcFields[2] == "∞" {
+		cmax = Unbounded
+	} else {
+		cmax, err = strconv.Atoi(tcFields[2])
+		if err != nil {
+			return Atom{}, fmt.Errorf("constraint: bad cmax %q: %v", tcFields[2], err)
+		}
+	}
+	group := GroupName(strings.TrimSpace(fields[2]))
+	a := Atom{Subject: subject, Target: target, Min: cmin, Max: cmax, Group: group}
+	if err := a.Validate(); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func parseExpr(s string) (Expr, error) {
+	var e Expr
+	for _, part := range strings.Split(s, "&") {
+		t := strings.TrimSpace(part)
+		if t == "" {
+			return nil, fmt.Errorf("constraint: empty tag in expression %q", s)
+		}
+		e = append(e, Tag(t))
+	}
+	return e, nil
+}

@@ -1,0 +1,184 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprMatches(t *testing.T) {
+	e := E("hb", "mem")
+	if !e.Matches([]Tag{"hb", "mem", "extra"}) {
+		t.Error("conjunction should match superset")
+	}
+	if e.Matches([]Tag{"hb"}) {
+		t.Error("conjunction should not match subset")
+	}
+	if !(Expr(nil)).Matches([]Tag{"anything"}) {
+		t.Error("empty expr matches everything")
+	}
+	if !(Expr(nil)).Matches(nil) {
+		t.Error("empty expr matches empty tags")
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	if !E("a", "b").Equal(E("b", "a")) {
+		t.Error("Equal should ignore order")
+	}
+	if !E("a", "a", "b").Equal(E("b", "a")) {
+		t.Error("Equal should ignore duplicates")
+	}
+	if E("a").Equal(E("a", "b")) {
+		t.Error("different conjunctions should differ")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	if got := E("mem", "hb").String(); got != "hb&mem" {
+		t.Errorf("String = %q, want hb&mem", got)
+	}
+	if got := (Expr{}).String(); got != "*" {
+		t.Errorf("empty expr String = %q, want *", got)
+	}
+}
+
+// TestSetPaperExample replays the §4.1 worked example: two HBase containers
+// on node n1 — a master {hb, hb_m} and a region server {hb, hb_rs} — give
+// 𝒯n1={hb, hb_m, hb_rs} with γ(hb)=2 and γ(hb_m)=γ(hb_rs)=1.
+func TestSetPaperExample(t *testing.T) {
+	s := NewSet()
+	s.AddContainer([]Tag{"hb", "hb_m"})
+	s.AddContainer([]Tag{"hb", "hb_rs"})
+	if got := s.Count("hb"); got != 2 {
+		t.Errorf("γ(hb) = %d, want 2", got)
+	}
+	if got := s.Count("hb_m"); got != 1 {
+		t.Errorf("γ(hb_m) = %d, want 1", got)
+	}
+	if got := s.Count("hb_rs"); got != 1 {
+		t.Errorf("γ(hb_rs) = %d, want 1", got)
+	}
+	if got := s.Containers(); got != 2 {
+		t.Errorf("Containers = %d, want 2", got)
+	}
+}
+
+// TestSetRackMerge replays the rack example: n1 as above plus n2 with one
+// region server gives γr1(hb)=3, γr1(hb_m)=1, γr1(hb_rs)=2.
+func TestSetRackMerge(t *testing.T) {
+	n1 := NewSet()
+	n1.AddContainer([]Tag{"hb", "hb_m"})
+	n1.AddContainer([]Tag{"hb", "hb_rs"})
+	n2 := NewSet()
+	n2.AddContainer([]Tag{"hb", "hb_rs"})
+	rack := NewSet()
+	rack.Merge(n1)
+	rack.Merge(n2)
+	if got := rack.Count("hb"); got != 3 {
+		t.Errorf("γr1(hb) = %d, want 3", got)
+	}
+	if got := rack.Count("hb_m"); got != 1 {
+		t.Errorf("γr1(hb_m) = %d, want 1", got)
+	}
+	if got := rack.Count("hb_rs"); got != 2 {
+		t.Errorf("γr1(hb_rs) = %d, want 2", got)
+	}
+}
+
+func TestSetRemove(t *testing.T) {
+	s := NewSet()
+	s.AddContainer([]Tag{"a", "b"})
+	s.AddContainer([]Tag{"a"})
+	s.RemoveContainer([]Tag{"a", "b"})
+	if got := s.Count("a"); got != 1 {
+		t.Errorf("γ(a) = %d after remove, want 1", got)
+	}
+	if got := s.Count("b"); got != 0 {
+		t.Errorf("γ(b) = %d after remove, want 0", got)
+	}
+	s.RemoveContainer([]Tag{"a"})
+	if got := s.Containers(); got != 0 {
+		t.Errorf("Containers = %d after all removes, want 0", got)
+	}
+}
+
+func TestSetRemoveAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveContainer of absent container should panic")
+		}
+	}()
+	NewSet().RemoveContainer([]Tag{"ghost"})
+}
+
+func TestSetDuplicateTagsCountOnce(t *testing.T) {
+	s := NewSet()
+	s.AddContainer([]Tag{"x", "x", "x"})
+	if got := s.Count("x"); got != 1 {
+		t.Errorf("γ(x) = %d, want 1 (duplicates within a container count once)", got)
+	}
+	s.RemoveContainer([]Tag{"x", "x", "x"})
+	if got := s.Count("x"); got != 0 {
+		t.Errorf("γ(x) = %d after remove, want 0", got)
+	}
+}
+
+// TestCountExprConjunction verifies that γ of a conjunction counts
+// containers matching all tags, not the min over single-tag counts.
+func TestCountExprConjunction(t *testing.T) {
+	s := NewSet()
+	s.AddContainer([]Tag{"hb", "mem"})
+	s.AddContainer([]Tag{"hb"})
+	s.AddContainer([]Tag{"mem"})
+	if got := s.CountExpr(E("hb", "mem")); got != 1 {
+		t.Errorf("γ(hb&mem) = %d, want 1", got)
+	}
+	if got := s.CountExpr(E("hb")); got != 2 {
+		t.Errorf("γ(hb) = %d, want 2", got)
+	}
+	if got := s.CountExpr(E("absent")); got != 0 {
+		t.Errorf("γ(absent) = %d, want 0", got)
+	}
+}
+
+func TestSetClone(t *testing.T) {
+	s := NewSet()
+	s.AddContainer([]Tag{"a"})
+	c := s.Clone()
+	c.AddContainer([]Tag{"a"})
+	if s.Count("a") != 1 || c.Count("a") != 2 {
+		t.Errorf("clone not independent: orig=%d clone=%d", s.Count("a"), c.Count("a"))
+	}
+}
+
+// Property: adding then removing a random batch of containers restores the
+// empty multiset.
+func TestSetAddRemoveInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(n uint8) bool {
+		s := NewSet()
+		var batch [][]Tag
+		for i := 0; i < int(n%32); i++ {
+			tags := []Tag{Tag([]byte{'a' + byte(rng.Intn(5))})}
+			if rng.Intn(2) == 0 {
+				tags = append(tags, Tag([]byte{'f' + byte(rng.Intn(5))}))
+			}
+			batch = append(batch, tags)
+			s.AddContainer(tags)
+		}
+		for _, tags := range batch {
+			s.RemoveContainer(tags)
+		}
+		return s.Containers() == 0 && len(s.Tags()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppIDTag(t *testing.T) {
+	if got := AppIDTag("0023"); got != "appID:0023" {
+		t.Errorf("AppIDTag = %q", got)
+	}
+}

@@ -1,0 +1,289 @@
+// Package core wires Medea together: the two-scheduler design of §3
+// (Figure 4). LRAs submitted through the rich constraint interface are
+// batched and placed by the LRA scheduler at regular scheduling intervals;
+// task-based jobs go straight to the task-based scheduler. All actual
+// allocations flow through the task-based scheduler, which makes it the
+// single writer of cluster state and sidesteps the conflicting-placement
+// problem of multi-level schedulers (§5.4).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/lra"
+	"medea/internal/taskched"
+)
+
+// Config parameterises a Medea instance.
+type Config struct {
+	// Interval is the LRA scheduling interval (§5.1); longer intervals
+	// batch more LRAs per cycle, improving placement quality at the cost
+	// of LRA scheduling latency. Default 10s (§7.1).
+	Interval time.Duration
+	// Options are passed to the LRA algorithm.
+	Options lra.Options
+	// MaxRetries bounds LRA resubmission after placement conflicts (§5.4);
+	// default 3.
+	MaxRetries int
+	// ScheduleTasksViaLRA turns the instance into the ILP-ALL strawman of
+	// §7.5 (Figure 11b): task requests are converted into single-group
+	// LRAs and routed through the LRA scheduler, abandoning the
+	// two-scheduler split.
+	ScheduleTasksViaLRA bool
+}
+
+type pendingApp struct {
+	app     *lra.Application
+	submit  time.Time
+	retries int
+}
+
+// Medea is the cluster scheduler.
+type Medea struct {
+	Cluster     *cluster.Cluster
+	Constraints *constraint.Manager
+	Tasks       *taskched.Scheduler
+
+	alg     lra.Algorithm
+	cfg     Config
+	pending []*pendingApp
+	nextRun time.Time
+
+	deployed map[string][]cluster.ContainerID
+
+	// LRALatencies records submission-to-commit latency per placed LRA.
+	LRALatencies []time.Duration
+	// Rejected lists LRAs dropped after exhausting conflict retries or
+	// found unplaceable.
+	Rejected []string
+	// taskSeq names synthetic task LRAs in ILP-ALL mode.
+	taskSeq int
+}
+
+// New builds a Medea instance over a cluster, with the given LRA
+// algorithm and task queues.
+func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.QueueConfig) *Medea {
+	if cfg.Interval == 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	return &Medea{
+		Cluster:     c,
+		Constraints: constraint.NewManager(),
+		Tasks:       taskched.New(c, queues...),
+		alg:         alg,
+		cfg:         cfg,
+		deployed:    make(map[string][]cluster.ContainerID),
+	}
+}
+
+// Algorithm returns the configured LRA placement algorithm.
+func (m *Medea) Algorithm() lra.Algorithm { return m.alg }
+
+// SubmitLRA validates an LRA, registers its constraints with the
+// constraint manager and queues it for the next scheduling cycle (LRA
+// life-cycle steps 1–2, §6).
+func (m *Medea) SubmitLRA(app *lra.Application, now time.Time) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.deployed[app.ID]; ok {
+		return fmt.Errorf("core: LRA %s already deployed", app.ID)
+	}
+	if err := m.Constraints.AddApplication(app.ID, app.Constraints...); err != nil {
+		return err
+	}
+	m.pending = append(m.pending, &pendingApp{app: app, submit: now})
+	return nil
+}
+
+// SubmitTasks submits a task-based job. In the default two-scheduler
+// configuration it goes directly to the task-based scheduler; in ILP-ALL
+// mode it is wrapped as constraint-free LRAs and competes inside the LRA
+// scheduler (Figure 11b's strawman).
+func (m *Medea) SubmitTasks(appID, queue string, now time.Time, reqs ...taskched.TaskRequest) error {
+	if !m.cfg.ScheduleTasksViaLRA {
+		return m.Tasks.Submit(appID, queue, now, reqs...)
+	}
+	for _, r := range reqs {
+		m.taskSeq++
+		app := &lra.Application{
+			ID: fmt.Sprintf("%s-task%d", appID, m.taskSeq),
+			Groups: []lra.ContainerGroup{{
+				Name: "task", Count: r.Count, Demand: r.Demand, Tags: r.Tags,
+			}},
+		}
+		if err := m.SubmitLRA(app, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PendingLRAs returns the number of LRAs awaiting a scheduling cycle.
+func (m *Medea) PendingLRAs() int { return len(m.pending) }
+
+// Deployed reports whether an LRA is fully deployed, and its containers.
+func (m *Medea) Deployed(appID string) ([]cluster.ContainerID, bool) {
+	ids, ok := m.deployed[appID]
+	return ids, ok
+}
+
+// CycleStats summarises one LRA scheduling cycle.
+type CycleStats struct {
+	Batch      int
+	Placed     int
+	Requeued   int
+	Rejected   int
+	AlgLatency time.Duration
+}
+
+// Tick runs a scheduling cycle if the interval has elapsed. The simulator
+// calls this at every event step.
+func (m *Medea) Tick(now time.Time) (CycleStats, bool) {
+	if now.Before(m.nextRun) {
+		return CycleStats{}, false
+	}
+	m.nextRun = now.Add(m.cfg.Interval)
+	if len(m.pending) == 0 {
+		return CycleStats{}, false
+	}
+	return m.RunCycle(now), true
+}
+
+// RunCycle invokes the LRA scheduler on the current batch and commits the
+// resulting placements through the task-based scheduler (Figure 4 steps
+// 1–3). Placements that conflict with the evolved cluster state are
+// resubmitted for the next cycle (§5.4).
+func (m *Medea) RunCycle(now time.Time) CycleStats {
+	batch := m.pending
+	m.pending = nil
+	apps := make([]*lra.Application, len(batch))
+	for i, p := range batch {
+		apps[i] = p.app
+	}
+	// The batch's own constraints travel with the apps; Active() holds
+	// deployed LRAs' and operator constraints. Deployed-app constraints
+	// include those of the batch (registered at submit), so exclude the
+	// batch apps from the active set to avoid double counting.
+	inBatch := make(map[string]bool, len(apps))
+	for _, a := range apps {
+		inBatch[a.ID] = true
+	}
+	var active []constraint.Entry
+	for _, e := range m.Constraints.Active() {
+		if e.Source == constraint.SourceApplication && inBatch[e.AppID] {
+			continue
+		}
+		active = append(active, e)
+	}
+
+	res := m.alg.Place(m.Cluster, apps, active, m.cfg.Options)
+	stats := CycleStats{Batch: len(batch), AlgLatency: res.Latency}
+	for i, p := range res.Placements {
+		pa := batch[i]
+		if !p.Placed {
+			// Unplaceable this cycle: retry within budget (resources may
+			// free up), then reject.
+			m.requeueOrReject(pa, &stats)
+			continue
+		}
+		commit := make([]taskched.CommitAssignment, len(p.Assignments))
+		for j, a := range p.Assignments {
+			commit[j] = taskched.CommitAssignment{
+				Container: a.Container, Node: a.Node, Demand: a.Demand, Tags: a.Tags,
+			}
+		}
+		if err := m.Tasks.Commit(commit); err != nil {
+			// Conflict with task allocations made since the decision:
+			// resubmit the LRA (§5.4).
+			m.requeueOrReject(pa, &stats)
+			continue
+		}
+		ids := make([]cluster.ContainerID, len(p.Assignments))
+		for j, a := range p.Assignments {
+			ids[j] = a.Container
+		}
+		m.deployed[p.AppID] = ids
+		m.LRALatencies = append(m.LRALatencies, now.Sub(pa.submit)+res.Latency)
+		stats.Placed++
+	}
+	return stats
+}
+
+func (m *Medea) requeueOrReject(pa *pendingApp, stats *CycleStats) {
+	pa.retries++
+	if pa.retries > m.cfg.MaxRetries {
+		m.Constraints.RemoveApplication(pa.app.ID)
+		m.Rejected = append(m.Rejected, pa.app.ID)
+		stats.Rejected++
+		return
+	}
+	m.pending = append(m.pending, pa)
+	stats.Requeued++
+}
+
+// RemoveLRA tears an LRA down: releases its containers and drops its
+// constraints.
+func (m *Medea) RemoveLRA(appID string) error {
+	ids, ok := m.deployed[appID]
+	if !ok {
+		return fmt.Errorf("core: LRA %s not deployed", appID)
+	}
+	for _, id := range ids {
+		if err := m.Cluster.Release(id); err != nil {
+			return err
+		}
+	}
+	delete(m.deployed, appID)
+	m.Constraints.RemoveApplication(appID)
+	return nil
+}
+
+// ActiveEntries returns all currently registered constraints (deployed
+// LRAs + operator), for violation evaluation.
+func (m *Medea) ActiveEntries() []constraint.Entry { return m.Constraints.Active() }
+
+// Rebalance runs the reactive container-migration planner (§5.4) over the
+// deployed LRAs and applies the resulting moves. Task containers never
+// move — only LRA containers Medea itself placed. It returns the applied
+// plan; moves that fail to re-commit (lost races with task allocations)
+// roll back to their original node and are dropped from the plan.
+func (m *Medea) Rebalance(opts lra.MigrationOptions) *lra.MigrationPlan {
+	lraOwned := make(map[cluster.ContainerID]bool)
+	for _, ids := range m.deployed {
+		for _, id := range ids {
+			lraOwned[id] = true
+		}
+	}
+	prev := opts.Movable
+	opts.Movable = func(id cluster.ContainerID) bool {
+		if !lraOwned[id] {
+			return false
+		}
+		return prev == nil || prev(id)
+	}
+	plan := lra.PlanMigration(m.Cluster, m.Constraints.Active(), opts)
+	applied := plan.Moves[:0]
+	for _, mv := range plan.Moves {
+		tags, _ := m.Cluster.ContainerTags(mv.Container)
+		demand := m.Cluster.ContainerDemand(mv.Container)
+		if err := m.Cluster.Release(mv.Container); err != nil {
+			continue
+		}
+		if err := m.Cluster.Allocate(mv.To, mv.Container, demand, tags); err != nil {
+			if rerr := m.Cluster.Allocate(mv.From, mv.Container, demand, tags); rerr != nil {
+				panic(rerr) // unreachable: restoring the just-released container
+			}
+			continue
+		}
+		applied = append(applied, mv)
+	}
+	plan.Moves = applied
+	return plan
+}

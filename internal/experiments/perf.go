@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/perfmodel"
+	"medea/internal/workload"
+)
+
+// Thin bridges from experiment code to the performance models, keeping
+// figure runners readable.
+
+func perfMemcached(c *cluster.Cluster, sup, mc cluster.NodeID, rng *rand.Rand) float64 {
+	return perfmodel.MemcachedLatency(perfmodel.Distance(c, sup, mc), rng)
+}
+
+func perfYCSB(w byte, avgCollocatedOthers float64, cgroups bool, rng *rand.Rand) float64 {
+	return perfmodel.YCSBThroughput(w, avgCollocatedOthers, cgroups, rng)
+}
+
+func perfHBaseRuntime(k int, high bool, rng *rand.Rand) float64 {
+	return perfmodel.HBaseRuntime(k, high, rng)
+}
+
+func perfTFRuntime(k int, high bool, rng *rand.Rand) float64 {
+	return perfmodel.TFRuntime(k, high, rng)
+}
+
+func rsExpr() constraint.Expr { return constraint.E(workload.TagHBaseWorker) }
+
+func lraConstraint(a constraint.Atom) constraint.Constraint { return constraint.New(a) }

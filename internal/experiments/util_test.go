@@ -1,0 +1,6 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan for table-cell parsing in tests.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

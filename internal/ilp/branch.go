@@ -1,0 +1,236 @@
+package ilp
+
+import (
+	"math"
+	"time"
+)
+
+// Options controls branch-and-bound.
+type Options struct {
+	// Deadline stops the search when reached; the best incumbent (if any)
+	// is returned with Status Feasible. Zero means no deadline.
+	Deadline time.Time
+	// MaxNodes bounds the number of explored nodes (0 = 200000).
+	MaxNodes int
+	// RelGap stops when (bound-incumbent)/max(1,|incumbent|) is below it.
+	RelGap float64
+	// WarmStart optionally supplies values for the integer variables of a
+	// known-feasible solution. The solver fixes them, solves one LP for
+	// the continuous remainder, and uses the result as the initial
+	// incumbent — branch-and-bound then only ever improves on it. An
+	// infeasible warm start is ignored.
+	WarmStart map[Var]float64
+}
+
+type bbNode struct {
+	lo, hi []float64
+	bound  float64 // parent LP objective (in model sense)
+	depth  int
+}
+
+// Solve optimises the model. Continuous models solve with one simplex
+// call; integer models run branch-and-bound on the LP relaxation.
+func (m *Model) Solve(opts Options) *Solution {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	n := len(m.vars)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	hasInt := false
+	for j, v := range m.vars {
+		lo[j], hi[j] = v.lo, v.hi
+		if v.integer {
+			hasInt = true
+			// Tighten integer bounds immediately.
+			if !math.IsInf(lo[j], -1) {
+				lo[j] = math.Ceil(lo[j] - tolInt)
+			}
+			if !math.IsInf(hi[j], 1) {
+				hi[j] = math.Floor(hi[j] + tolInt)
+			}
+		}
+	}
+
+	root := solveLP(m, lo, hi)
+	if root.status != Optimal {
+		return &Solution{Status: root.status, Nodes: 1}
+	}
+	if !hasInt || m.integral(root.x) {
+		return &Solution{Status: Optimal, Objective: root.obj, values: m.snap(root.x), Nodes: 1}
+	}
+
+	// better reports whether objective a improves on b under the sense.
+	better := func(a, b float64) bool {
+		if m.sense == Maximize {
+			return a > b
+		}
+		return a < b
+	}
+	worstObj := math.Inf(1)
+	if m.sense == Maximize {
+		worstObj = math.Inf(-1)
+	}
+
+	incumbent := worstObj
+	var incumbentX []float64
+	if opts.WarmStart != nil {
+		wlo, whi := clone(lo), clone(hi)
+		valid := true
+		for v, val := range opts.WarmStart {
+			j := int(v)
+			if j < 0 || j >= n {
+				valid = false
+				break
+			}
+			if val < wlo[j]-tolFeas || val > whi[j]+tolFeas {
+				valid = false
+				break
+			}
+			wlo[j], whi[j] = val, val
+		}
+		if valid {
+			if res := solveLP(m, wlo, whi); res.status == Optimal && m.integral(res.x) {
+				incumbent = res.obj
+				incumbentX = m.snap(res.x)
+			}
+		}
+	}
+	nodes := 0
+	stack := []bbNode{{lo: lo, hi: hi, bound: root.obj, depth: 0}}
+	deadlineHit := false
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			deadlineHit = true
+			break
+		}
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+			deadlineHit = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Bound pruning against the incumbent.
+		if incumbentX != nil && !better(nd.bound, incumbent) {
+			continue
+		}
+		res := solveLP(m, nd.lo, nd.hi)
+		nodes++
+		if res.status != Optimal {
+			continue // infeasible (or numerically bad) subtree
+		}
+		if incumbentX != nil && !better(res.obj, incumbent) {
+			continue
+		}
+		// Pick the most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for j, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			f := res.x[j] - math.Floor(res.x[j])
+			d := math.Min(f, 1-f)
+			if d > tolInt && d > frac {
+				frac = d
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible.
+			if incumbentX == nil || better(res.obj, incumbent) {
+				incumbent = res.obj
+				incumbentX = m.snap(res.x)
+				if opts.RelGap > 0 {
+					gap := math.Abs(root.obj-incumbent) / math.Max(1, math.Abs(incumbent))
+					if gap <= opts.RelGap {
+						break
+					}
+				}
+			}
+			continue
+		}
+		v := res.x[branchVar]
+		fl, ce := math.Floor(v), math.Ceil(v)
+		down := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: res.obj, depth: nd.depth + 1}
+		down.hi[branchVar] = math.Min(down.hi[branchVar], fl)
+		up := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: res.obj, depth: nd.depth + 1}
+		up.lo[branchVar] = math.Max(up.lo[branchVar], ce)
+		// DFS: push the less promising child first so the more promising
+		// (closer rounding) is explored next.
+		if v-fl >= 0.5 {
+			stack = append(stack, down, up)
+		} else {
+			stack = append(stack, up, down)
+		}
+	}
+
+	switch {
+	case incumbentX == nil && deadlineHit:
+		return &Solution{Status: NoSolution, Nodes: nodes}
+	case incumbentX == nil:
+		return &Solution{Status: Infeasible, Nodes: nodes}
+	case deadlineHit || len(stack) > 0:
+		return &Solution{Status: Feasible, Objective: incumbent, values: incumbentX, Nodes: nodes}
+	default:
+		return &Solution{Status: Optimal, Objective: incumbent, values: incumbentX, Nodes: nodes}
+	}
+}
+
+// integral reports whether all integer variables are integral within tol.
+func (m *Model) integral(x []float64) bool {
+	for j, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if math.Min(f, 1-f) > tolInt {
+			return false
+		}
+	}
+	return true
+}
+
+// snap rounds integer variables to exact integers.
+func (m *Model) snap(x []float64) []float64 {
+	out := clone(x)
+	for j, v := range m.vars {
+		if v.integer {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}
+
+func clone(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// CheckFeasible verifies that an assignment satisfies all bounds,
+// integrality and constraints within tolerance; used by tests and by
+// schedulers validating externally constructed solutions.
+func (m *Model) CheckFeasible(x []float64) bool {
+	if len(x) != len(m.vars) {
+		return false
+	}
+	for j, v := range m.vars {
+		if x[j] < v.lo-tolFeas || x[j] > v.hi+tolFeas {
+			return false
+		}
+		if v.integer {
+			f := x[j] - math.Floor(x[j])
+			if math.Min(f, 1-f) > tolInt {
+				return false
+			}
+		}
+	}
+	for _, c := range m.cons {
+		s := 0.0
+		for _, t := range c.terms {
+			s += t.Coeff * x[t.Var]
+		}
+		if s < c.lo-tolFeas || s > c.hi+tolFeas {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+// Package ilp is a self-contained (mixed-)integer linear programming
+// solver: a dense two-phase primal simplex for LP relaxations and
+// branch-and-bound for integer variables.
+//
+// It substitutes for the CPLEX solver the paper's LRA scheduler relies on
+// (§6): Medea only needs *a* MIP solver for the Figure-5 formulation, under
+// a time budget, with graceful degradation to the best incumbent found.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the optimisation direction.
+type Sense int
+
+// Optimisation directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Var is an opaque handle to a model variable.
+type Var int
+
+// Infinity is the unbounded bound value.
+var Infinity = math.Inf(1)
+
+type varDef struct {
+	name    string
+	lo, hi  float64
+	integer bool
+	obj     float64
+}
+
+// Term is coefficient*variable in a linear expression.
+type Term struct {
+	Var   Var
+	Coeff float64
+}
+
+// T builds a Term.
+func T(c float64, v Var) Term { return Term{Var: v, Coeff: c} }
+
+type conDef struct {
+	name   string
+	terms  []Term
+	lo, hi float64 // lo <= terms <= hi; use ±Infinity
+}
+
+// Model is a mutable MIP model. Build it, then call Solve.
+type Model struct {
+	sense Sense
+	vars  []varDef
+	cons  []conDef
+}
+
+// NewModel returns an empty model with the given objective sense.
+func NewModel(sense Sense) *Model { return &Model{sense: sense} }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Binary adds a {0,1} variable.
+func (m *Model) Binary(name string) Var { return m.addVar(name, 0, 1, true) }
+
+// Int adds an integer variable with inclusive bounds.
+func (m *Model) Int(name string, lo, hi float64) Var { return m.addVar(name, lo, hi, true) }
+
+// Float adds a continuous variable with inclusive bounds.
+func (m *Model) Float(name string, lo, hi float64) Var { return m.addVar(name, lo, hi, false) }
+
+func (m *Model) addVar(name string, lo, hi float64, integer bool) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: variable %s has lo %v > hi %v", name, lo, hi))
+	}
+	m.vars = append(m.vars, varDef{name: name, lo: lo, hi: hi, integer: integer})
+	return Var(len(m.vars) - 1)
+}
+
+// SetObjective sets the objective coefficient of v (default 0).
+func (m *Model) SetObjective(v Var, coeff float64) { m.vars[v].obj = coeff }
+
+// AddObjective adds to the objective coefficient of v.
+func (m *Model) AddObjective(v Var, coeff float64) { m.vars[v].obj += coeff }
+
+// AddLE adds the constraint terms <= rhs.
+func (m *Model) AddLE(name string, rhs float64, terms ...Term) {
+	m.addCon(name, math.Inf(-1), rhs, terms)
+}
+
+// AddGE adds the constraint terms >= rhs.
+func (m *Model) AddGE(name string, rhs float64, terms ...Term) {
+	m.addCon(name, rhs, Infinity, terms)
+}
+
+// AddEQ adds the constraint terms == rhs.
+func (m *Model) AddEQ(name string, rhs float64, terms ...Term) {
+	m.addCon(name, rhs, rhs, terms)
+}
+
+// AddRange adds lo <= terms <= hi.
+func (m *Model) AddRange(name string, lo, hi float64, terms ...Term) {
+	m.addCon(name, lo, hi, terms)
+}
+
+func (m *Model) addCon(name string, lo, hi float64, terms []Term) {
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: constraint %s has lo %v > hi %v", name, lo, hi))
+	}
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
+			panic(fmt.Sprintf("ilp: constraint %s references unknown variable %d", name, t.Var))
+		}
+	}
+	m.cons = append(m.cons, conDef{name: name, terms: append([]Term(nil), terms...), lo: lo, hi: hi})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: proven optimal within tolerances.
+	Optimal Status = iota
+	// Feasible: an integer-feasible incumbent was found but optimality was
+	// not proven before the deadline or node limit.
+	Feasible
+	// Infeasible: no feasible solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded in the objective direction.
+	Unbounded
+	// NoSolution: deadline or node limit hit before any incumbent.
+	NoSolution
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	values    []float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Value returns the value of v, rounded to exact integrality for integer
+// variables.
+func (s *Solution) Value(v Var) float64 {
+	if s.values == nil {
+		return 0
+	}
+	return s.values[v]
+}
+
+// IntValue returns the value of v rounded to the nearest integer.
+func (s *Solution) IntValue(v Var) int { return int(math.Round(s.Value(v))) }

@@ -1,0 +1,409 @@
+package ilp
+
+import (
+	"math"
+)
+
+// Numeric tolerances for the simplex.
+const (
+	tolPivot = 1e-9 // smallest acceptable pivot magnitude
+	tolFeas  = 1e-7 // feasibility / phase-1 tolerance
+	tolCost  = 1e-9 // reduced-cost optimality tolerance
+	tolInt   = 1e-6 // integrality tolerance (branch-and-bound)
+)
+
+// lpResult is the outcome of one LP relaxation solve.
+type lpResult struct {
+	status Status // Optimal, Infeasible or Unbounded
+	obj    float64
+	x      []float64 // values in original model-variable space
+}
+
+// stdVar describes how one standard-form variable maps back to a model
+// variable: modelValue = shift + sign*stdValue.
+type stdVar struct {
+	model int     // model variable index, -1 for slack/artificial
+	shift float64 // constant offset
+	sign  float64 // +1 or -1
+}
+
+// solveLP solves the LP relaxation of m with per-variable bound overrides
+// lo/hi (same length as m.vars) using a dense two-phase primal simplex.
+// Integrality is ignored.
+func solveLP(m *Model, lo, hi []float64) lpResult {
+	n := len(m.vars)
+	for j := 0; j < n; j++ {
+		if lo[j] > hi[j]+tolFeas {
+			return lpResult{status: Infeasible}
+		}
+	}
+
+	// Standard-form variable construction. Each model variable becomes one
+	// (or, if free, two) non-negative std variables plus, when its range
+	// width is finite and positive, an upper-bound row.
+	var svars []stdVar
+	// colOf[j] = std column(s) of model var j: primary column; for free
+	// vars, the negative part is the next column.
+	colOf := make([]int, n)
+	type ubRow struct {
+		col   int
+		width float64
+	}
+	var ubRows []ubRow
+	fixed := make([]float64, n) // value for width-0 vars, NaN otherwise
+	for j := range fixed {
+		fixed[j] = math.NaN()
+	}
+	for j := 0; j < n; j++ {
+		ljo, hjo := lo[j], hi[j]
+		switch {
+		case ljo == hjo:
+			// Fixed variable: substitute the constant, no column.
+			colOf[j] = -1
+			fixed[j] = ljo
+		case math.IsInf(ljo, -1) && math.IsInf(hjo, 1):
+			colOf[j] = len(svars)
+			svars = append(svars, stdVar{model: j, sign: 1})  // positive part
+			svars = append(svars, stdVar{model: j, sign: -1}) // negative part
+		case math.IsInf(ljo, -1):
+			// x = hi - x', x' >= 0.
+			colOf[j] = len(svars)
+			svars = append(svars, stdVar{model: j, shift: hjo, sign: -1})
+		default:
+			// x = lo + x', 0 <= x' (<= hi-lo when finite).
+			colOf[j] = len(svars)
+			svars = append(svars, stdVar{model: j, shift: ljo, sign: 1})
+			if !math.IsInf(hjo, 1) {
+				ubRows = append(ubRows, ubRow{col: len(svars) - 1, width: hjo - ljo})
+			}
+		}
+	}
+
+	// Assemble rows: coefficients over std columns, relation, rhs.
+	type row struct {
+		a   []float64
+		rel int // -1: <=, 0: ==, +1: >=
+		b   float64
+	}
+	var rows []row
+	nStructural := len(svars)
+	newRow := func() []float64 { return make([]float64, nStructural) }
+	for _, con := range m.cons {
+		a := newRow()
+		shiftSum := 0.0
+		for _, t := range con.terms {
+			j := int(t.Var)
+			if colOf[j] < 0 {
+				shiftSum += t.Coeff * fixed[j]
+				continue
+			}
+			c0 := colOf[j]
+			sv := svars[c0]
+			shiftSum += t.Coeff * sv.shift
+			a[c0] += t.Coeff * sv.sign
+			if sv.sign == 1 && c0+1 < len(svars) && svars[c0+1].model == j && svars[c0+1].sign == -1 {
+				a[c0+1] += -t.Coeff
+			}
+		}
+		loC, hiC := con.lo-shiftSum, con.hi-shiftSum
+		switch {
+		case con.lo == con.hi:
+			rows = append(rows, row{a: a, rel: 0, b: loC})
+		default:
+			if !math.IsInf(hiC, 1) {
+				rows = append(rows, row{a: a, rel: -1, b: hiC})
+			}
+			if !math.IsInf(loC, -1) {
+				ac := append([]float64(nil), a...)
+				rows = append(rows, row{a: ac, rel: 1, b: loC})
+			}
+		}
+	}
+	for _, ub := range ubRows {
+		a := newRow()
+		a[ub.col] = 1
+		rows = append(rows, row{a: a, rel: -1, b: ub.width})
+	}
+
+	mRows := len(rows)
+	if mRows == 0 {
+		// Bound-only problem: optimum at a bound per objective sign.
+		x := make([]float64, n)
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			c := m.vars[j].obj
+			minimizeC := c
+			if m.sense == Maximize {
+				minimizeC = -c
+			}
+			switch {
+			case minimizeC > 0:
+				x[j] = lo[j]
+			case minimizeC < 0:
+				x[j] = hi[j]
+			default:
+				x[j] = lo[j]
+			}
+			if math.IsInf(x[j], 0) {
+				if c != 0 {
+					return lpResult{status: Unbounded}
+				}
+				x[j] = 0
+			}
+			obj += c * x[j]
+		}
+		return lpResult{status: Optimal, obj: obj, x: x}
+	}
+
+	// Tableau columns: structural | slacks | artificials | rhs.
+	// Count slacks (one per inequality) and artificials.
+	nSlack := 0
+	for _, r := range rows {
+		if r.rel != 0 {
+			nSlack++
+		}
+	}
+	// Normalise rhs to be >= 0 first, flipping rows.
+	for i := range rows {
+		if rows[i].b < 0 {
+			for k := range rows[i].a {
+				rows[i].a[k] = -rows[i].a[k]
+			}
+			rows[i].b = -rows[i].b
+			rows[i].rel = -rows[i].rel
+		}
+	}
+	// A row with <= and b>=0 gets a slack usable as initial basis; >= rows
+	// get a surplus plus an artificial; == rows get an artificial.
+	nArt := 0
+	for _, r := range rows {
+		if r.rel >= 0 {
+			nArt++
+		}
+	}
+	totalCols := nStructural + nSlack + nArt
+	tab := make([][]float64, mRows)
+	basis := make([]int, mRows)
+	slackAt, artAt := nStructural, nStructural+nSlack
+	for i, r := range rows {
+		tr := make([]float64, totalCols+1)
+		copy(tr, r.a)
+		tr[totalCols] = r.b
+		switch r.rel {
+		case -1:
+			tr[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case 1:
+			tr[slackAt] = -1
+			slackAt++
+			tr[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case 0:
+			tr[artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+		tab[i] = tr
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	if nArt > 0 {
+		cost := make([]float64, totalCols+1)
+		for c := nStructural + nSlack; c < totalCols; c++ {
+			cost[c] = 1
+		}
+		// Price out the basic artificials.
+		for i, b := range basis {
+			if b >= nStructural+nSlack {
+				for k := 0; k <= totalCols; k++ {
+					cost[k] -= tab[i][k]
+				}
+			}
+		}
+		if st := runSimplex(tab, basis, cost, totalCols); st == Unbounded {
+			// Phase 1 objective is bounded below by 0; unbounded here means
+			// numerical trouble. Report infeasible conservatively.
+			return lpResult{status: Infeasible}
+		}
+		if -cost[totalCols] > tolFeas { // objective value = -cost[rhs]
+			return lpResult{status: Infeasible}
+		}
+		// Drive remaining artificials out of the basis.
+		for i := 0; i < mRows; i++ {
+			if basis[i] < nStructural+nSlack {
+				continue
+			}
+			pivoted := false
+			for c := 0; c < nStructural+nSlack; c++ {
+				if math.Abs(tab[i][c]) > tolPivot {
+					pivot(tab, basis, i, c)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it so it never constrains again.
+				for k := 0; k <= totalCols; k++ {
+					tab[i][k] = 0
+				}
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: minimise the real objective over structural columns.
+	cost := make([]float64, totalCols+1)
+	objShift := 0.0
+	for j := 0; j < n; j++ {
+		c := m.vars[j].obj
+		if m.sense == Maximize {
+			c = -c
+		}
+		if colOf[j] < 0 {
+			objShift += c * fixed[j]
+			continue
+		}
+		c0 := colOf[j]
+		sv := svars[c0]
+		objShift += c * sv.shift
+		cost[c0] += c * sv.sign
+		if sv.sign == 1 && c0+1 < len(svars) && svars[c0+1].model == j && svars[c0+1].sign == -1 {
+			cost[c0+1] += -c
+		}
+	}
+	// Forbid artificials from re-entering by giving them prohibitive cost.
+	for c := nStructural + nSlack; c < totalCols; c++ {
+		cost[c] = math.Inf(1)
+	}
+	// Price out basic columns.
+	for i, b := range basis {
+		if b >= 0 && b < totalCols && cost[b] != 0 && !math.IsInf(cost[b], 1) {
+			cb := cost[b]
+			for k := 0; k <= totalCols; k++ {
+				cost[k] -= cb * tab[i][k]
+			}
+		}
+	}
+	if st := runSimplex(tab, basis, cost, totalCols); st == Unbounded {
+		return lpResult{status: Unbounded}
+	}
+
+	// Extract std values, then map back to model space.
+	stdVal := make([]float64, totalCols)
+	for i, b := range basis {
+		if b >= 0 && b < totalCols {
+			stdVal[b] = tab[i][totalCols]
+		}
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if colOf[j] < 0 {
+			x[j] = fixed[j]
+			continue
+		}
+		c0 := colOf[j]
+		sv := svars[c0]
+		v := sv.shift + sv.sign*stdVal[c0]
+		if sv.sign == 1 && c0+1 < len(svars) && svars[c0+1].model == j && svars[c0+1].sign == -1 {
+			v -= stdVal[c0+1]
+		}
+		x[j] = v
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += m.vars[j].obj * x[j]
+	}
+	return lpResult{status: Optimal, obj: obj, x: x}
+}
+
+// runSimplex runs primal simplex iterations on the tableau until optimal
+// or unbounded. cost is the current (priced-out) objective row with the
+// running negative objective value in its rhs slot. Dantzig pricing with a
+// switch to Bland's rule guards against cycling.
+func runSimplex(tab [][]float64, basis []int, cost []float64, totalCols int) Status {
+	mRows := len(tab)
+	maxIter := 200*(mRows+totalCols) + 2000
+	blandAfter := 20*(mRows+totalCols) + 500
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -tolCost
+			for c := 0; c < totalCols; c++ {
+				if !math.IsInf(cost[c], 1) && cost[c] < best {
+					best = cost[c]
+					enter = c
+				}
+			}
+		} else {
+			for c := 0; c < totalCols; c++ {
+				if !math.IsInf(cost[c], 1) && cost[c] < -tolCost {
+					enter = c
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < mRows; i++ {
+			a := tab[i][enter]
+			if a > tolPivot {
+				r := tab[i][totalCols] / a
+				if r < bestRatio-tolFeas || (r < bestRatio+tolFeas && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		pivot(tab, basis, leave, enter)
+		// Update the cost row.
+		ce := cost[enter]
+		if ce != 0 {
+			pr := tab[leave]
+			for k := 0; k <= totalCols; k++ {
+				if pr[k] != 0 {
+					cost[k] -= ce * pr[k]
+				}
+			}
+			cost[enter] = 0
+		}
+	}
+	// Iteration limit: treat as optimal-so-far; callers tolerate slight
+	// suboptimality (time-budgeted scheduling).
+	return Optimal
+}
+
+// pivot performs a full tableau pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col int) {
+	pr := tab[row]
+	p := pr[col]
+	inv := 1 / p
+	for k := range pr {
+		pr[k] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := tab[i]
+		for k := range ri {
+			ri[k] -= f * pr[k]
+		}
+		ri[col] = 0 // exact
+	}
+	basis[row] = col
+}

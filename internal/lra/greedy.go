@@ -1,0 +1,356 @@
+package lra
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+// containerReq is the working representation of one requested container.
+type containerReq struct {
+	appIdx int
+	id     cluster.ContainerID
+	group  string
+	demand resource.Vector
+	tags   []constraint.Tag
+}
+
+// buildRequests expands the applications of a batch into container
+// requests with automatic appID tags.
+func buildRequests(apps []*Application) [][]containerReq {
+	out := make([][]containerReq, len(apps))
+	for ai, app := range apps {
+		seq := 0
+		for _, g := range app.Groups {
+			tags := app.EffectiveTags(g)
+			for j := 0; j < g.Count; j++ {
+				out[ai] = append(out[ai], containerReq{
+					appIdx: ai,
+					id:     cluster.MakeContainerID(app.ID, seq),
+					group:  g.Name,
+					demand: g.Demand,
+					tags:   tags,
+				})
+				seq++
+			}
+		}
+	}
+	return out
+}
+
+// ordering selects how the greedy engine picks the next container (§5.3).
+type ordering int
+
+const (
+	orderSerial ordering = iota // submission order, no reordering
+	orderNC                     // fewest node candidates first
+	orderTP                     // most popular tags first
+)
+
+// greedy is the shared heuristic engine: it places one container at a
+// time on the node minimising the weighted violation-extent increase.
+// The ordering distinguishes Serial, Medea-NC and Medea-TP; the atom
+// filter and load-balance term turn it into J-Kube / J-Kube++.
+type greedy struct {
+	name  string
+	order ordering
+	// atomFilter drops constraint atoms an algorithm does not understand
+	// (J-Kube lacks cardinality support). Nil keeps everything.
+	atomFilter func(constraint.Atom) bool
+	// loadBalanceWeight adds a Kubernetes-style least-requested term to
+	// node scores.
+	loadBalanceWeight float64
+	// subjectOnly scores only the candidate's own constraints, ignoring
+	// its impact on deployed subjects (Kubernetes semantics; see
+	// placementDeltaMode).
+	subjectOnly bool
+	// firstFit ignores scores entirely and picks randomly among the
+	// first few nodes (by ID) with room — the YARN Capacity Scheduler's
+	// behaviour of allocating on whichever node heartbeats first with
+	// headroom: frontier-biased, no spreading, no constraint awareness.
+	firstFit bool
+	// rng drives the frontier choice; seeded at construction so runs are
+	// reproducible.
+	rng *rand.Rand
+	// affinityPull adds Kubernetes' InterPodAffinityPriority behaviour:
+	// affinity scores grow with the NUMBER of matching containers in the
+	// topology, pulling new containers toward the most-populated set
+	// rather than merely a satisfying one. Zero disables.
+	affinityPull float64
+}
+
+// Name implements Algorithm.
+func (g *greedy) Name() string { return g.name }
+
+// NewSerial returns the Serial baseline: greedy placement in submission
+// order with no container reordering (§7.1).
+func NewSerial() Algorithm { return &greedy{name: "Serial", order: orderSerial} }
+
+// NewNodeCandidates returns Medea-NC: the node-candidates heuristic that
+// places the container with the least placement flexibility first (§5.3).
+func NewNodeCandidates() Algorithm { return &greedy{name: "Medea-NC", order: orderNC} }
+
+// NewTagPopularity returns Medea-TP: the tag-popularity heuristic that
+// prioritises containers whose tags appear in the most constraints (§5.3).
+func NewTagPopularity() Algorithm { return &greedy{name: "Medea-TP", order: orderTP} }
+
+// filterEntries applies the algorithm's atom filter to every constraint.
+func (g *greedy) filterEntries(entries []constraint.Entry) []constraint.Entry {
+	if g.atomFilter == nil {
+		return entries
+	}
+	var out []constraint.Entry
+	for _, e := range entries {
+		var terms [][]constraint.Atom
+		for _, term := range e.Constraint.Terms {
+			var atoms []constraint.Atom
+			for _, a := range term {
+				if g.atomFilter(a) {
+					atoms = append(atoms, a)
+				}
+			}
+			if len(atoms) > 0 {
+				terms = append(terms, atoms)
+			}
+		}
+		if len(terms) > 0 {
+			e.Constraint = constraint.Constraint{Terms: terms, Weight: e.Constraint.Weight}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Place implements Algorithm.
+func (g *greedy) Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result {
+	start := time.Now()
+	work := state.Clone()
+	cons := g.filterEntries(flattenConstraints(apps, active))
+	reqs := buildRequests(apps)
+
+	var queue []containerReq
+	for _, rs := range reqs {
+		queue = append(queue, rs...)
+	}
+	if g.order == orderTP {
+		pop := make([]int, len(queue))
+		for i, r := range queue {
+			pop[i] = tagPopularity(cons, r.tags)
+		}
+		idx := make([]int, len(queue))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return pop[idx[a]] > pop[idx[b]] })
+		nq := make([]containerReq, len(queue))
+		for i, j := range idx {
+			nq[i] = queue[j]
+		}
+		queue = nq
+	}
+
+	// Memoised per-tag-vector relevant-constraint subsets: node scoring
+	// only needs the constraints that can interact with the container.
+	relCache := map[string][]constraint.Entry{}
+	rel := func(r containerReq) []constraint.Entry {
+		k := tagKey(r.tags)
+		if v, ok := relCache[k]; ok {
+			return v
+		}
+		v := relevantEntries(cons, r.tags)
+		relCache[k] = v
+		return v
+	}
+
+	failed := make([]bool, len(apps))
+	placedBy := make([][]Assignment, len(apps))
+	var nc []int
+	if g.order == orderNC {
+		nc = make([]int, len(queue))
+		for i := range queue {
+			nc[i] = countCandidates(work, rel(queue[i]), queue[i])
+		}
+	}
+	done := make([]bool, len(queue))
+	for range queue {
+		sel := -1
+		if g.order == orderNC {
+			for i := range queue {
+				if done[i] || failed[queue[i].appIdx] {
+					continue
+				}
+				if sel < 0 || nc[i] < nc[sel] {
+					sel = i
+				}
+			}
+		} else {
+			for i := range queue {
+				if !done[i] && !failed[queue[i].appIdx] {
+					sel = i
+					break
+				}
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		r := queue[sel]
+		done[sel] = true
+		node, ok := g.bestNode(work, rel(r), r)
+		if !ok {
+			// All-or-nothing (Equation 4): roll the application back.
+			failed[r.appIdx] = true
+			for _, a := range placedBy[r.appIdx] {
+				if err := work.Release(a.Container); err != nil {
+					panic(err) // unreachable: releasing our own tentative allocation
+				}
+			}
+			placedBy[r.appIdx] = nil
+			continue
+		}
+		if err := work.Allocate(node, r.id, r.demand, r.tags); err != nil {
+			panic(err) // unreachable: bestNode verified the fit
+		}
+		placedBy[r.appIdx] = append(placedBy[r.appIdx], Assignment{
+			Container: r.id, Group: r.group, Node: node, Demand: r.demand, Tags: r.tags,
+		})
+		if g.order == orderNC {
+			// Recalculate Nc only for containers whose placement
+			// opportunities were affected in this iteration (§5.3).
+			for i := range queue {
+				if done[i] || failed[queue[i].appIdx] {
+					continue
+				}
+				if sharesConstraintScope(cons, r.tags, queue[i].tags) {
+					nc[i] = countCandidates(work, rel(queue[i]), queue[i])
+				}
+			}
+		}
+	}
+
+	res := &Result{Latency: time.Since(start)}
+	for ai, app := range apps {
+		p := Placement{AppID: app.ID, Placed: !failed[ai] && len(placedBy[ai]) == app.NumContainers()}
+		if p.Placed {
+			p.Assignments = placedBy[ai]
+		}
+		res.Placements = append(res.Placements, p)
+	}
+	return res
+}
+
+// bestNode returns the feasible node with the best score: lowest weighted
+// violation delta, then (scaled by loadBalanceWeight, if set) the least
+// utilised node, then the lowest node ID for determinism.
+func (g *greedy) bestNode(work *cluster.Cluster, cons []constraint.Entry, r containerReq) (cluster.NodeID, bool) {
+	if g.firstFit {
+		const frontier = 8
+		var fits []cluster.NodeID
+		for _, n := range work.Nodes() {
+			if n.Available() && r.demand.Fits(n.Free()) {
+				fits = append(fits, n.ID)
+				if len(fits) == frontier {
+					break
+				}
+			}
+		}
+		if len(fits) == 0 {
+			return -1, false
+		}
+		return fits[g.rng.Intn(len(fits))], true
+	}
+	bestID := cluster.NodeID(-1)
+	bestDelta, bestUtil := 0.0, 0.0
+	for _, n := range work.Nodes() {
+		if !n.Available() || !r.demand.Fits(n.Free()) {
+			continue
+		}
+		delta := placementDeltaMode(work, cons, r.tags, n.ID, g.subjectOnly)
+		if g.affinityPull > 0 {
+			delta -= g.affinityPull * affinityPopulation(work, cons, r.tags, n.ID)
+		}
+		util := n.Used().Add(r.demand).DominantShare(n.Capacity)
+		if g.loadBalanceWeight > 0 {
+			// J-Kube blends constraint and spreading scores rather than
+			// lexicographically preferring constraints.
+			delta += g.loadBalanceWeight * util
+		}
+		if bestID < 0 || delta < bestDelta-1e-12 ||
+			(delta < bestDelta+1e-12 && util < bestUtil-1e-12) {
+			bestID, bestDelta, bestUtil = n.ID, delta, util
+		}
+	}
+	return bestID, bestID >= 0
+}
+
+// countCandidates returns Nc: the number of nodes on which the container
+// can be placed without creating any new violation (§5.3). When no node is
+// violation-free, Nc counts nodes that merely fit, so such containers sort
+// first (least flexibility).
+func countCandidates(work *cluster.Cluster, cons []constraint.Entry, r containerReq) int {
+	clean := 0
+	for _, n := range work.Nodes() {
+		if !n.Available() || !r.demand.Fits(n.Free()) {
+			continue
+		}
+		if placementDelta(work, cons, r.tags, n.ID) <= 1e-12 {
+			clean++
+		}
+	}
+	return clean
+}
+
+// tagPopularity counts constraint atoms whose subject or target matches
+// the container's tags.
+func tagPopularity(cons []constraint.Entry, tags []constraint.Tag) int {
+	n := 0
+	for _, e := range cons {
+		for _, a := range e.Constraint.Atoms() {
+			if a.Subject.Matches(tags) || a.Target.Matches(tags) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sharesConstraintScope reports whether placing a container with tags a
+// can change the candidate count of a container with tags b: some atom
+// relates them (a matches its target while b matches its subject, or both
+// compete as subjects of the same atom).
+func sharesConstraintScope(cons []constraint.Entry, a, b []constraint.Tag) bool {
+	for _, e := range cons {
+		for _, atom := range e.Constraint.Atoms() {
+			if atom.Target.Matches(a) && atom.Subject.Matches(b) {
+				return true
+			}
+			if atom.Subject.Matches(a) && atom.Subject.Matches(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// affinityPopulation returns the total target population the candidate's
+// affinity constraints see at this node's sets — Kubernetes' affinity
+// priority sums matching pods per topology, so more populated sets score
+// higher (and keep attracting more containers).
+func affinityPopulation(work *cluster.Cluster, cons []constraint.Entry, tags []constraint.Tag, node cluster.NodeID) float64 {
+	total := 0.0
+	for _, e := range cons {
+		for _, a := range e.Constraint.Atoms() {
+			if !a.IsAffinity() || !a.Subject.Matches(tags) {
+				continue
+			}
+			for _, sid := range work.SetsOfNode(a.Group, node) {
+				total += float64(work.Gamma(a.Group, sid, a.Target))
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package lra
+
+import (
+	"math/rand"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+)
+
+// NewJKube returns J-Kube: the paper's re-implementation of Kubernetes'
+// scheduling algorithm inside Medea's LRA scheduler (§7.1). It considers
+// one container request at a time, supports (anti-)affinity but no
+// cardinality constraints, and blends constraint satisfaction with a
+// least-requested load-balancing score, mirroring Kubernetes' node
+// scoring.
+//
+// Cardinality atoms (anything that is neither pure affinity nor pure
+// anti-affinity) are dropped, exactly the capability gap §7.2 attributes
+// J-Kube's worse placements to.
+func NewJKube() Algorithm {
+	return &greedy{
+		name:  "J-Kube",
+		order: orderSerial,
+		atomFilter: func(a constraint.Atom) bool {
+			return a.IsAffinity() || a.IsAntiAffinity()
+		},
+		loadBalanceWeight: 0.25,
+		subjectOnly:       true,
+		affinityPull:      0.05,
+	}
+}
+
+// NewJKubePlusPlus returns J-Kube++: J-Kube extended with cardinality
+// constraint support (§7.1). It still schedules one container request at
+// a time, which is what keeps its placements inferior to Medea-ILP for
+// inter-application constraints (§7.4).
+func NewJKubePlusPlus() Algorithm {
+	return &greedy{
+		name:              "J-Kube++",
+		order:             orderSerial,
+		loadBalanceWeight: 0.25,
+		subjectOnly:       true,
+		affinityPull:      0.05,
+	}
+}
+
+// NewYARN returns the constraint-unaware YARN baseline of §7.1: placement
+// ignores all constraints entirely (YARN 2.7 supports none of Medea's
+// constraint forms) and allocates first-fit, as the Capacity Scheduler
+// does on whichever node heartbeats with headroom — so constraints are
+// satisfied only "randomly", the behaviour §7.2 attributes YARN's runtime
+// unpredictability to.
+func NewYARN() Algorithm {
+	return &greedy{
+		name:       "YARN",
+		order:      orderSerial,
+		atomFilter: func(constraint.Atom) bool { return false },
+		firstFit:   true,
+		rng:        rand.New(rand.NewSource(94)), // fixed seed: reproducible runs
+	}
+}
+
+// newBestOfGreedy runs the Serial and tag-popularity heuristics and keeps
+// the placement with more placed applications, breaking ties on the lower
+// weighted violation extent. Medea-ILP uses it to seed the solver with
+// the strongest cheap incumbent (§5.3's heuristics as a MIP start).
+func newBestOfGreedy() Algorithm {
+	return &bestOf{algs: []Algorithm{NewTagPopularity(), NewSerial()}}
+}
+
+type bestOf struct {
+	algs []Algorithm
+}
+
+// Name implements Algorithm.
+func (b *bestOf) Name() string { return "best-of-greedy" }
+
+// Place implements Algorithm.
+func (b *bestOf) Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result {
+	var best *Result
+	bestScore := 0.0
+	for _, alg := range b.algs {
+		res := alg.Place(state, apps, active, opts)
+		score := b.score(state, apps, active, res)
+		if best == nil || score > bestScore {
+			best, bestScore = res, score
+		}
+	}
+	return best
+}
+
+// score rates a result: more placed apps first, then fewer violations.
+func (b *bestOf) score(state *cluster.Cluster, apps []*Application, active []constraint.Entry, res *Result) float64 {
+	work := state.Clone()
+	placed := 0
+	for _, p := range res.Placements {
+		if !p.Placed {
+			continue
+		}
+		placed++
+		for _, a := range p.Assignments {
+			if err := work.Allocate(a.Node, a.Container, a.Demand, a.Tags); err != nil {
+				return -1 // inconsistent result; never pick it
+			}
+		}
+	}
+	rep := Evaluate(work, flattenConstraints(apps, active))
+	return float64(placed) - rep.TotalExtent/1e6
+}

@@ -1,0 +1,114 @@
+package lra
+
+import (
+	"testing"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+func migCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	return cluster.Grid(6, 3, resource.New(8192, 8))
+}
+
+// TestMigrationFixesAntiAffinity: two containers with mutual anti-affinity
+// collocated by force; one move separates them.
+func TestMigrationFixesAntiAffinity(t *testing.T) {
+	c := migCluster(t)
+	con := constraint.New(constraint.AntiAffinity(constraint.E("a"), constraint.E("a"), constraint.Node))
+	mustAlloc(t, c, 0, "x#0", "a")
+	mustAlloc(t, c, 0, "x#1", "a")
+	entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+	plan := PlanMigration(c, entries, MigrationOptions{})
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %d, want 1", len(plan.Moves))
+	}
+	if plan.AfterExtent != 0 || plan.BeforeExtent <= 0 {
+		t.Errorf("extents = %v -> %v", plan.BeforeExtent, plan.AfterExtent)
+	}
+	if plan.Improvement() <= 0 {
+		t.Errorf("improvement = %v", plan.Improvement())
+	}
+	// Planning must not mutate the input cluster.
+	if n, _ := c.ContainerNode("x#1"); n != 0 {
+		t.Error("PlanMigration mutated input state")
+	}
+}
+
+// TestMigrationRespectsMaxMoves: several violations, only one move allowed.
+func TestMigrationRespectsMaxMoves(t *testing.T) {
+	c := migCluster(t)
+	con := constraint.New(constraint.MaxCardinality(constraint.E("a"), constraint.E("a"), 0, constraint.Node))
+	for i := 0; i < 4; i++ {
+		mustAlloc(t, c, 0, string(cluster.MakeContainerID("x", i)), "a")
+	}
+	entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+	plan := PlanMigration(c, entries, MigrationOptions{MaxMoves: 1})
+	if len(plan.Moves) != 1 {
+		t.Fatalf("moves = %d, want 1", len(plan.Moves))
+	}
+	if plan.AfterExtent >= plan.BeforeExtent {
+		t.Errorf("no improvement: %v -> %v", plan.BeforeExtent, plan.AfterExtent)
+	}
+}
+
+// TestMigrationMoveCostGate: a marginal improvement below the move cost is
+// not worth the disruption.
+func TestMigrationMoveCostGate(t *testing.T) {
+	c := migCluster(t)
+	con := constraint.New(constraint.MaxCardinality(constraint.E("a"), constraint.E("a"), 1, constraint.Rack))
+	// Three in a rack: each sees 2 others, extent (2-1)/1 = 1 per subject.
+	for i := 0; i < 3; i++ {
+		mustAlloc(t, c, cluster.NodeID(i), string(cluster.MakeContainerID("x", i)), "a")
+	}
+	entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+	plan := PlanMigration(c, entries, MigrationOptions{MoveCost: 100})
+	if len(plan.Moves) != 0 {
+		t.Errorf("moves = %d despite prohibitive cost", len(plan.Moves))
+	}
+}
+
+// TestMigrationMovableFilter: excluded containers stay put.
+func TestMigrationMovableFilter(t *testing.T) {
+	c := migCluster(t)
+	con := constraint.New(constraint.AntiAffinity(constraint.E("a"), constraint.E("a"), constraint.Node))
+	mustAlloc(t, c, 0, "pin#0", "a")
+	mustAlloc(t, c, 0, "pin#1", "a")
+	entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+	plan := PlanMigration(c, entries, MigrationOptions{
+		Movable: func(cluster.ContainerID) bool { return false },
+	})
+	if len(plan.Moves) != 0 {
+		t.Errorf("pinned containers moved: %v", plan.Moves)
+	}
+}
+
+// TestMigrationCleanClusterNoMoves: nothing to fix, nothing proposed.
+func TestMigrationCleanClusterNoMoves(t *testing.T) {
+	c := migCluster(t)
+	mustAlloc(t, c, 0, "x#0", "a")
+	con := constraint.New(constraint.AntiAffinity(constraint.E("a"), constraint.E("a"), constraint.Node))
+	entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+	plan := PlanMigration(c, entries, MigrationOptions{})
+	if len(plan.Moves) != 0 || plan.BeforeExtent != 0 {
+		t.Errorf("plan on clean cluster: %+v", plan)
+	}
+}
+
+// TestMigrationNeverWorsens: property over a few seeded violating states.
+func TestMigrationNeverWorsens(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		c := migCluster(t)
+		con := constraint.New(constraint.MaxCardinality(constraint.E("a"), constraint.E("a"), 1, constraint.Node))
+		for i := 0; i <= seed+2; i++ {
+			_ = c.Allocate(cluster.NodeID(seed%3), cluster.MakeContainerID("s", i), resource.New(512, 0), []constraint.Tag{"a"})
+		}
+		entries := []constraint.Entry{{Source: constraint.SourceOperator, Constraint: con}}
+		plan := PlanMigration(c, entries, MigrationOptions{MaxMoves: 16, MoveCost: 0.01})
+		if plan.AfterExtent > plan.BeforeExtent+1e-9 {
+			t.Errorf("seed %d: worsened %v -> %v", seed, plan.BeforeExtent, plan.AfterExtent)
+		}
+	}
+}

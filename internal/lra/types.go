@@ -1,0 +1,184 @@
+// Package lra implements Medea's LRA scheduler (§5 of the paper): the
+// ILP-based placement algorithm (Figure 5), the Medea-NC and Medea-TP
+// heuristics, the Serial baseline, and re-implementations of Kubernetes'
+// algorithm (J-Kube) and its cardinality-aware extension (J-Kube++) used
+// as comparison points in §7.
+package lra
+
+import (
+	"fmt"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/resource"
+)
+
+// ContainerGroup is a homogeneous set of containers within an LRA request:
+// same resource demand and same tags (e.g. "10 region servers, <2GB,1c>,
+// tags {hb, hb_rs}").
+type ContainerGroup struct {
+	// Name distinguishes the group within the application (e.g. "worker").
+	Name string
+	// Count is the number of containers requested.
+	Count int
+	// Demand is the per-container resource demand.
+	Demand resource.Vector
+	// Tags are attached to every container of the group; the appID tag is
+	// added automatically at submission.
+	Tags []constraint.Tag
+}
+
+// Application is an LRA submission: container groups plus placement
+// constraints (the rich LRA interface of §3).
+type Application struct {
+	ID          string
+	Groups      []ContainerGroup
+	Constraints []constraint.Constraint
+}
+
+// Validate checks the application request.
+func (a *Application) Validate() error {
+	if a.ID == "" {
+		return fmt.Errorf("lra: application without ID")
+	}
+	if len(a.Groups) == 0 {
+		return fmt.Errorf("lra: application %s has no container groups", a.ID)
+	}
+	for _, g := range a.Groups {
+		if g.Count <= 0 {
+			return fmt.Errorf("lra: application %s group %q has count %d", a.ID, g.Name, g.Count)
+		}
+		if !g.Demand.IsPositive() {
+			return fmt.Errorf("lra: application %s group %q has non-positive demand %v", a.ID, g.Name, g.Demand)
+		}
+	}
+	for _, c := range a.Constraints {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("lra: application %s: %w", a.ID, err)
+		}
+	}
+	return nil
+}
+
+// NumContainers returns the total container count across groups.
+func (a *Application) NumContainers() int {
+	n := 0
+	for _, g := range a.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// EffectiveTags returns a group's tags plus the automatic appID tag.
+func (a *Application) EffectiveTags(g ContainerGroup) []constraint.Tag {
+	tags := make([]constraint.Tag, 0, len(g.Tags)+1)
+	tags = append(tags, g.Tags...)
+	tags = append(tags, constraint.AppIDTag(a.ID))
+	return tags
+}
+
+// Assignment maps one requested container to a node.
+type Assignment struct {
+	Container cluster.ContainerID
+	Group     string
+	Node      cluster.NodeID
+	Demand    resource.Vector
+	Tags      []constraint.Tag
+}
+
+// Placement is the outcome for one application in a scheduling round.
+// Placement is all-or-nothing (Equation 4): either every container has an
+// assignment or the application is unplaced.
+type Placement struct {
+	AppID       string
+	Placed      bool
+	Assignments []Assignment
+}
+
+// Result is the outcome of one scheduler invocation over a batch of LRAs.
+type Result struct {
+	Placements []Placement
+	// Latency is the wall-clock time the algorithm spent.
+	Latency time.Duration
+}
+
+// PlacedApps returns the number of fully placed applications.
+func (r *Result) PlacedApps() int {
+	n := 0
+	for _, p := range r.Placements {
+		if p.Placed {
+			n++
+		}
+	}
+	return n
+}
+
+// Objective weights for Equation 1 (§7.1 defaults). W4 is the optional
+// load-balance component §5.2 mentions ("additional ones can be easily
+// added, such as load imbalance"): a small headroom reward that makes the
+// solver prefer, among otherwise-equal placements, the one leaving nodes
+// balanced for future scheduling cycles.
+type Weights struct {
+	W1 float64 // maximize number of scheduled LRAs
+	W2 float64 // minimize constraint violations
+	W3 float64 // minimize resource fragmentation
+	W4 float64 // balance node load (optional component)
+}
+
+// DefaultWeights are the paper's evaluation settings: w1=1, w2=0.5,
+// w3=0.25, plus a small load-balance tiebreak.
+func DefaultWeights() Weights { return Weights{W1: 1, W2: 0.5, W3: 0.25, W4: 0.05} }
+
+// Options configures a scheduling invocation.
+type Options struct {
+	Weights Weights
+	// SolverBudget bounds the ILP solve time (0 = 2s). Ignored by the
+	// heuristic algorithms.
+	SolverBudget time.Duration
+	// MaxCandidates caps the number of candidate nodes materialised in the
+	// ILP per scheduling round (0 = automatic). Pruning keeps the model
+	// tractable on multi-thousand-node clusters.
+	MaxCandidates int
+	// RMin is the fragmentation threshold r_min of Equation 5 (zero value
+	// uses cluster.FragmentationThreshold).
+	RMin resource.Vector
+}
+
+func (o Options) weights() Weights {
+	if o.Weights == (Weights{}) {
+		return DefaultWeights()
+	}
+	return o.Weights
+}
+
+// balanceWeight returns W4 including the zero default.
+func (w Weights) balanceWeight() float64 { return w.W4 }
+
+func (o Options) rmin() resource.Vector {
+	if o.RMin.IsZero() {
+		return cluster.FragmentationThreshold
+	}
+	return o.RMin
+}
+
+func (o Options) solverBudget() time.Duration {
+	if o.SolverBudget == 0 {
+		return 2 * time.Second
+	}
+	return o.SolverBudget
+}
+
+// Algorithm is an LRA placement algorithm. Place must not mutate state; it
+// returns the proposed assignments, which Medea's core hands to the
+// task-based scheduler for the actual allocation (§3, steps 1–3).
+//
+// state is the current cluster condition including already-running LRAs
+// and task-based containers; apps are the LRAs submitted in the latest
+// scheduling interval; active are the constraints of already deployed LRAs
+// plus the cluster operator's (from the constraint manager). The
+// constraints of the new apps themselves travel inside apps.
+type Algorithm interface {
+	Name() string
+	Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result
+}

@@ -1,0 +1,209 @@
+// Package metrics provides the summary statistics the paper's evaluation
+// reports: percentiles and CDFs, box-plot five-number summaries (5th/25th/
+// median/75th/99th, as in Figure 7), coefficients of variation (Figure
+// 10b) and fixed-width result tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation (stddev/mean); 0 when the mean
+// is 0.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || math.IsNaN(m) {
+		return 0
+	}
+	return Stddev(xs) / m
+}
+
+// BoxStats is the five-number summary used by the paper's box plots
+// (Figure 7): whiskers at p5/p99, box at p25/p75, line at the median.
+type BoxStats struct {
+	P5, P25, Median, P75, P99 float64
+}
+
+// Box computes the box-plot summary.
+func Box(xs []float64) BoxStats {
+	return BoxStats{
+		P5:     Percentile(xs, 5),
+		P25:    Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		P75:    Percentile(xs, 75),
+		P99:    Percentile(xs, 99),
+	}
+}
+
+// String renders "p5/p25/med/p75/p99".
+func (b BoxStats) String() string {
+	return fmt.Sprintf("%.1f/%.1f/%.1f/%.1f/%.1f", b.P5, b.P25, b.Median, b.P75, b.P99)
+}
+
+// CDFPoint is one (x, F(x)) sample of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	F float64
+}
+
+// CDF returns the empirical CDF evaluated at every sample.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, x := range s {
+		out[i] = CDFPoint{X: x, F: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// CDFAt samples an empirical CDF at the given x values.
+func CDFAt(xs []float64, at []float64) []CDFPoint {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(at))
+	for i, x := range at {
+		n := sort.SearchFloat64s(s, x+1e-12)
+		out[i] = CDFPoint{X: x, F: float64(n) / float64(max(1, len(s)))}
+	}
+	return out
+}
+
+// Durations converts a duration slice to float64 seconds.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// Table renders fixed-width experiment tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	a := New(2048, 2)
+	b := New(1024, 1)
+	if got := a.Add(b); got != New(3072, 3) {
+		t.Errorf("Add = %v, want <3072MB,3c>", got)
+	}
+	if got := a.Sub(b); got != New(1024, 1) {
+		t.Errorf("Sub = %v, want <1024MB,1c>", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := New(4096, 4)
+	tests := []struct {
+		demand Vector
+		want   bool
+	}{
+		{New(4096, 4), true},
+		{New(4096, 5), false},
+		{New(4097, 4), false},
+		{New(0, 0), true},
+		{New(1, 1), true},
+	}
+	for _, tt := range tests {
+		if got := tt.demand.Fits(cap); got != tt.want {
+			t.Errorf("%v.Fits(%v) = %v, want %v", tt.demand, cap, got, tt.want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := New(100, 2).Scale(3); got != New(300, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := New(100, 2).Scale(0); !got.IsZero() {
+		t.Errorf("Scale(0) = %v, want zero", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(100, 5), New(200, 3)
+	if got := a.Min(b); got != New(100, 3) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != New(200, 5) {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !New(2, 2).Dominates(New(1, 2)) {
+		t.Error("(2,2) should dominate (1,2)")
+	}
+	if New(2, 2).Dominates(New(1, 3)) {
+		t.Error("(2,2) should not dominate (1,3)")
+	}
+}
+
+func TestDominantShare(t *testing.T) {
+	cap := New(1000, 10)
+	if got := New(500, 2).DominantShare(cap); got != 0.5 {
+		t.Errorf("DominantShare = %v, want 0.5", got)
+	}
+	if got := New(100, 8).DominantShare(cap); got != 0.8 {
+		t.Errorf("DominantShare = %v, want 0.8", got)
+	}
+	if got := (Vector{}).DominantShare(Vector{}); got != 0 {
+		t.Errorf("DominantShare of zero capacity = %v, want 0", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, v := range []Vector{{}, New(2048, 1), New(1, 0), WorkerProfile, ChiefProfile} {
+		got, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", v.String(), err)
+		}
+		if got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "2048MB,1c", "<2048MB>", "<xMB,1c>", "<2048MB,yc>", "<1,2,3>"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestScalar(t *testing.T) {
+	if got := New(1024, 1).Scalar(); got != 2048 {
+		t.Errorf("Scalar = %d, want 2048", got)
+	}
+}
+
+// Property: Add is commutative and associative; Sub inverts Add.
+func TestAddProperties(t *testing.T) {
+	comm := func(a, b Vector) bool { return a.Add(b) == b.Add(a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	assoc := func(a, b, c Vector) bool { return a.Add(b).Add(c) == a.Add(b.Add(c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error(err)
+	}
+	inv := func(a, b Vector) bool { return a.Add(b).Sub(b) == a }
+	if err := quick.Check(inv, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fits is a partial order consistent with Dominates.
+func TestFitsDominatesDuality(t *testing.T) {
+	f := func(a, b Vector) bool { return a.Fits(b) == b.Dominates(a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Min/Max bound their arguments.
+func TestMinMaxProperties(t *testing.T) {
+	f := func(a, b Vector) bool {
+		lo, hi := a.Min(b), a.Max(b)
+		return lo.Fits(a) && lo.Fits(b) && a.Fits(hi) && b.Fits(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

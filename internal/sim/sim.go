@@ -1,0 +1,145 @@
+// Package sim is a deterministic discrete-event simulator. It mirrors the
+// paper's evaluation methodology (§7.1 "Simulation"): Medea runs against
+// simulated machines with virtual time, "merely ignoring RPCs and task
+// execution", which lets the global-objective and latency experiments
+// (Figures 9–11) sweep configurations quickly and reproducibly.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Handler is an event callback, invoked with the virtual time at which the
+// event fires.
+type Handler func(now time.Time)
+
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a virtual-time event loop. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    time.Time
+	seq    uint64
+	events eventHeap
+	// Processed counts events executed so far.
+	Processed int
+}
+
+// Epoch is the default simulation start time (an arbitrary fixed instant,
+// keeping runs reproducible).
+var Epoch = time.Date(2018, 4, 23, 0, 0, 0, 0, time.UTC) // EuroSys'18 day one
+
+// NewEngine returns an engine starting at the given virtual time (Epoch if
+// zero).
+func NewEngine(start time.Time) *Engine {
+	if start.IsZero() {
+		start = Epoch
+	}
+	return &Engine{now: start}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at the given virtual time; times in the past fire at the
+// current time (immediately on the next step).
+func (e *Engine) At(t time.Time, fn Handler) {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn Handler) { e.At(e.now.Add(d), fn) }
+
+// Every schedules fn at start and then periodically; fn returning false
+// cancels the series.
+func (e *Engine) Every(start time.Time, interval time.Duration, fn func(now time.Time) bool) {
+	var tick Handler
+	tick = func(now time.Time) {
+		if fn(now) {
+			e.At(now.Add(interval), tick)
+		}
+	}
+	e.At(start, tick)
+}
+
+// Step executes the next event; it reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn(ev.at)
+	return true
+}
+
+// RunUntil processes events with at <= deadline; the virtual clock is left
+// at the deadline (or at the last event if the queue drains first).
+func (e *Engine) RunUntil(deadline time.Time) {
+	for len(e.events) > 0 && !e.events[0].at.After(deadline) {
+		e.Step()
+	}
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+}
+
+// Run drains the event queue completely, with a safety cap on event count
+// (0 means no cap). It returns the number of events processed.
+func (e *Engine) Run(maxEvents int) int {
+	n := 0
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RNG returns a deterministic random source for a named stream: the same
+// (seed, stream) pair always yields the same sequence, and distinct
+// streams are decorrelated. Experiments use one stream per concern
+// (arrivals, sizes, failures) so that changing one sweep parameter does
+// not reshuffle unrelated randomness.
+func RNG(seed int64, stream string) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(stream) {
+		h = (h ^ uint64(b)) * 1099511628211 // FNV-1a
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var order []int
+	e.After(2*time.Second, func(time.Time) { order = append(order, 2) })
+	e.After(1*time.Second, func(time.Time) { order = append(order, 1) })
+	e.After(3*time.Second, func(time.Time) { order = append(order, 3) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if got := e.Now().Sub(Epoch); got != 3*time.Second {
+		t.Errorf("final time = %v", got)
+	}
+	if e.Processed != 3 {
+		t.Errorf("Processed = %d", e.Processed)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.After(time.Second, func(time.Time) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO broken: %v", order)
+		}
+	}
+}
+
+func TestPastEventFiresNow(t *testing.T) {
+	e := NewEngine(time.Time{})
+	fired := false
+	e.At(Epoch.Add(-time.Hour), func(now time.Time) {
+		fired = true
+		if now.Before(Epoch) {
+			t.Errorf("fired in the past: %v", now)
+		}
+	})
+	e.Run(0)
+	if !fired {
+		t.Error("past event dropped")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(time.Time{})
+	count := 0
+	var chain Handler
+	chain = func(now time.Time) {
+		count++
+		if count < 4 {
+			e.After(time.Second, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run(0)
+	if count != 4 {
+		t.Errorf("chain count = %d", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(time.Time{})
+	n := 0
+	e.Every(Epoch, time.Minute, func(now time.Time) bool {
+		n++
+		return n < 5
+	})
+	e.Run(0)
+	if n != 5 {
+		t.Errorf("periodic fired %d times, want 5", n)
+	}
+	if got := e.Now().Sub(Epoch); got != 4*time.Minute {
+		t.Errorf("final time = %v, want 4m", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, time.Minute, time.Hour} {
+		d := d
+		e.After(d, func(time.Time) { fired = append(fired, d) })
+	}
+	e.RunUntil(Epoch.Add(2 * time.Minute))
+	if len(fired) != 2 {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Now() != Epoch.Add(2*time.Minute) {
+		t.Errorf("clock = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	e := NewEngine(time.Time{})
+	var tick func(time.Time)
+	tick = func(time.Time) { e.After(time.Second, tick) } // infinite chain
+	e.After(0, tick)
+	if n := e.Run(10); n != 10 {
+		t.Errorf("Run(10) processed %d", n)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a := RNG(42, "arrivals")
+	b := RNG(42, "arrivals")
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same stream diverged")
+		}
+	}
+	c := RNG(42, "sizes")
+	d := RNG(43, "arrivals")
+	same1, same2 := true, true
+	e1 := RNG(42, "arrivals")
+	for i := 0; i < 10; i++ {
+		v := e1.Int63()
+		if c.Int63() != v {
+			same1 = false
+		}
+		if d.Int63() != v {
+			same2 = false
+		}
+	}
+	if same1 || same2 {
+		t.Error("distinct streams/seeds not decorrelated")
+	}
+}

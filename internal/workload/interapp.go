@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"medea/internal/constraint"
+	"medea/internal/lra"
+	"medea/internal/resource"
+)
+
+func pow(x, p float64) float64 { return math.Pow(x, p) }
+
+// InterAppBatch generates the Figure-9c/9d workload: LRAs carrying
+// inter-application affinity constraints that span up to `complexity`
+// applications. The batch is split into groups of `complexity`
+// consecutive LRA types. Within a group:
+//
+//   - consecutive (even, odd) pairs carry *node-level* affinity — each
+//     worker of the even type must share its node with a worker of the odd
+//     type (pipeline collocation, as Storm+Memcached in §2.2). A pair is
+//     cheap to satisfy when its two LRAs are placed together, but hard to
+//     repair once the first landed on nodes without headroom for the
+//     second — the reason considering multiple LRA requests at once
+//     matters (§7.4);
+//   - every non-anchor member carries *rack-level* affinity to the group's
+//     first type, so complexity X really ties X applications together;
+//   - every type spreads itself one-worker-per-node, so groups occupy many
+//     nodes and collocation headroom is contended.
+func InterAppBatch(rng *rand.Rand, n, workers, complexity int, prefix string) []*lra.Application {
+	apps := make([]*lra.Application, n)
+	typeTag := func(i int) constraint.Tag {
+		return constraint.Tag(fmt.Sprintf("%s-t%d", prefix, i))
+	}
+	_ = rng // deterministic structure; randomness reserved for variants
+	if complexity < 1 {
+		complexity = 1
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-%03d", prefix, i)
+		app := &lra.Application{
+			ID: id,
+			Groups: []lra.ContainerGroup{{
+				Name: "worker", Count: workers, Demand: resource.WorkerProfile,
+				Tags: []constraint.Tag{typeTag(i), "ia"},
+			}},
+		}
+		groupStart := (i / complexity) * complexity
+		posInGroup := i - groupStart
+		// Node-level pair affinity: even member needs the next odd member.
+		if posInGroup%2 == 0 && posInGroup+1 < complexity && i+1 < n {
+			app.Constraints = append(app.Constraints, constraint.New(constraint.Affinity(
+				constraint.E(typeTag(i)), constraint.E(typeTag(i+1)), constraint.Node)))
+		}
+		// Rack-level affinity to the group anchor.
+		if posInGroup > 0 {
+			app.Constraints = append(app.Constraints, constraint.New(constraint.Affinity(
+				constraint.E(typeTag(i)), constraint.E(typeTag(groupStart)), constraint.Rack)))
+		}
+		// One worker per node per type.
+		app.Constraints = append(app.Constraints, constraint.New(constraint.AntiAffinity(
+			constraint.E(typeTag(i)), constraint.E(typeTag(i)), constraint.Node)))
+		apps[i] = app
+	}
+	return apps
+}
+
+// ResilienceApp builds the Figure-8 workload: an LRA with `containers`
+// containers and an intra-application constraint spreading them across
+// service units (at most perfect-spread+1 per unit when committed by the
+// caller; the default cap assumes 100 containers over 25 SUs).
+func ResilienceApp(id string, containers int) *lra.Application {
+	appTag := constraint.AppIDTag(id)
+	tag := constraint.Tag("res")
+	return &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{{
+			Name: "worker", Count: containers, Demand: resource.DefaultProfile,
+			Tags: []constraint.Tag{tag},
+		}},
+		Constraints: []constraint.Constraint{
+			constraint.New(constraint.MaxCardinality(
+				constraint.E(tag, appTag), constraint.E(tag, appTag), 3, constraint.ServiceUnit)),
+		},
+	}
+}

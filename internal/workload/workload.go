@@ -1,0 +1,283 @@
+// Package workload generates the applications the paper's evaluation
+// deploys (§7.1): HBase instances exercised with YCSB, TensorFlow training
+// instances, Storm+Memcached pipelines (§2.2), GridMix-like batch jobs,
+// and a Google-cluster-trace-like task arrival process (§7.5). Generators
+// are deterministic given a *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"medea/internal/constraint"
+	"medea/internal/lra"
+	"medea/internal/resource"
+	"medea/internal/taskched"
+)
+
+// Well-known container tags used across the experiments.
+const (
+	TagHBase       constraint.Tag = "hb"
+	TagHBaseWorker constraint.Tag = "hb_rs"
+	TagHBaseMaster constraint.Tag = "hb_m"
+	TagHBaseThrift constraint.Tag = "hb_thrift"
+	TagHBaseSecond constraint.Tag = "hb_sec"
+	TagTF          constraint.Tag = "tf"
+	TagTFWorker    constraint.Tag = "tf_w"
+	TagTFPS        constraint.Tag = "tf_ps"
+	TagTFChief     constraint.Tag = "tf_chief"
+	TagStorm       constraint.Tag = "storm"
+	TagMemcached   constraint.Tag = "mem"
+	TagMemoryCrit  constraint.Tag = "memory_critical"
+)
+
+// HBaseConfig parameterises an HBase instance.
+type HBaseConfig struct {
+	// Workers is the number of region servers (paper: 10 per instance in
+	// §7, 30 in the §2.2 motivation study).
+	Workers int
+	// MaxWorkersPerNode sets the inter-application cardinality template:
+	// "no more than two HBase workers on the same node" (§7.1). 0 disables.
+	MaxWorkersPerNode int
+	// RackAffinity requests all workers of the instance on one rack (§7.1).
+	RackAffinity bool
+	// MasterConstraints adds the §7.1 master/thrift affinity and
+	// master/secondary anti-affinity.
+	MasterConstraints bool
+}
+
+// DefaultHBase is the §7.1 configuration.
+func DefaultHBase() HBaseConfig {
+	return HBaseConfig{Workers: 10, MaxWorkersPerNode: 2, RackAffinity: true, MasterConstraints: true}
+}
+
+// HBase builds one HBase LRA instance.
+func HBase(id string, cfg HBaseConfig) *lra.Application {
+	appTag := constraint.AppIDTag(id)
+	app := &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{
+			{Name: "master", Count: 1, Demand: resource.DefaultProfile,
+				Tags: []constraint.Tag{TagHBase, TagHBaseMaster, TagMemoryCrit}},
+			{Name: "thrift", Count: 1, Demand: resource.DefaultProfile,
+				Tags: []constraint.Tag{TagHBase, TagHBaseThrift}},
+			{Name: "secondary", Count: 1, Demand: resource.DefaultProfile,
+				Tags: []constraint.Tag{TagHBase, TagHBaseSecond}},
+			{Name: "worker", Count: cfg.Workers, Demand: resource.WorkerProfile,
+				Tags: []constraint.Tag{TagHBase, TagHBaseWorker}},
+		},
+	}
+	if cfg.RackAffinity {
+		// All workers of the same instance on the same rack (§7.1 (i)).
+		app.Constraints = append(app.Constraints, constraint.New(constraint.Affinity(
+			constraint.E(TagHBaseWorker, appTag), constraint.E(TagHBaseWorker, appTag), constraint.Rack)))
+	}
+	if cfg.MaxWorkersPerNode > 0 {
+		// No more than K HBase workers per node, across instances (§7.1
+		// (ii)); the subject sees at most K-1 *other* workers.
+		app.Constraints = append(app.Constraints, constraint.New(constraint.MaxCardinality(
+			constraint.E(TagHBaseWorker), constraint.E(TagHBaseWorker), cfg.MaxWorkersPerNode-1, constraint.Node)))
+	}
+	if cfg.MasterConstraints {
+		// Node affinity between Master and Thrift server; node
+		// anti-affinity between Master and Secondary (§7.1 (iii)).
+		app.Constraints = append(app.Constraints,
+			constraint.New(constraint.Affinity(
+				constraint.E(TagHBaseThrift, appTag), constraint.E(TagHBaseMaster, appTag), constraint.Node)),
+			constraint.New(constraint.AntiAffinity(
+				constraint.E(TagHBaseSecond, appTag), constraint.E(TagHBaseMaster, appTag), constraint.Node)),
+		)
+	}
+	return app
+}
+
+// TFConfig parameterises a TensorFlow instance.
+type TFConfig struct {
+	// Workers is the worker count (paper: 8 per instance in §7, 32 in the
+	// §2.2 cardinality study).
+	Workers int
+	// ParameterServers is the PS count (paper: 2).
+	ParameterServers int
+	// MaxWorkersPerNode is the cardinality template "no more than four
+	// TensorFlow workers per node" (§7.1). 0 disables.
+	MaxWorkersPerNode int
+	// RackAffinity keeps the instance's workers on one rack.
+	RackAffinity bool
+}
+
+// DefaultTF is the §7.1 configuration.
+func DefaultTF() TFConfig {
+	return TFConfig{Workers: 8, ParameterServers: 2, MaxWorkersPerNode: 4, RackAffinity: true}
+}
+
+// TensorFlow builds one TensorFlow LRA instance.
+func TensorFlow(id string, cfg TFConfig) *lra.Application {
+	appTag := constraint.AppIDTag(id)
+	app := &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{
+			{Name: "chief", Count: 1, Demand: resource.ChiefProfile,
+				Tags: []constraint.Tag{TagTF, TagTFChief}},
+			{Name: "ps", Count: cfg.ParameterServers, Demand: resource.DefaultProfile,
+				Tags: []constraint.Tag{TagTF, TagTFPS}},
+			{Name: "worker", Count: cfg.Workers, Demand: resource.WorkerProfile,
+				Tags: []constraint.Tag{TagTF, TagTFWorker}},
+		},
+	}
+	if cfg.RackAffinity {
+		app.Constraints = append(app.Constraints, constraint.New(constraint.Affinity(
+			constraint.E(TagTFWorker, appTag), constraint.E(TagTFWorker, appTag), constraint.Rack)))
+	}
+	if cfg.MaxWorkersPerNode > 0 {
+		app.Constraints = append(app.Constraints, constraint.New(constraint.MaxCardinality(
+			constraint.E(TagTFWorker), constraint.E(TagTFWorker), cfg.MaxWorkersPerNode-1, constraint.Node)))
+	}
+	return app
+}
+
+// StormPipeline builds the §2.2 motivation workload: a Storm topology with
+// the given supervisors plus a Memcached instance holding user profiles.
+// mode selects the placement constraints: "none", "intra" (Storm
+// containers collocated) or "intra-inter" (Storm and Memcached collocated).
+func StormPipeline(id string, supervisors int, mode string) *lra.Application {
+	appTag := constraint.AppIDTag(id)
+	app := &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{
+			{Name: "supervisor", Count: supervisors, Demand: resource.WorkerProfile,
+				Tags: []constraint.Tag{TagStorm}},
+			{Name: "memcached", Count: 1, Demand: resource.WorkerProfile,
+				Tags: []constraint.Tag{TagMemcached, TagMemoryCrit}},
+		},
+	}
+	switch mode {
+	case "intra":
+		app.Constraints = append(app.Constraints, constraint.New(constraint.Affinity(
+			constraint.E(TagStorm, appTag), constraint.E(TagStorm, appTag), constraint.Node)))
+	case "intra-inter":
+		app.Constraints = append(app.Constraints,
+			constraint.New(constraint.Affinity(
+				constraint.E(TagStorm, appTag), constraint.E(TagStorm, appTag), constraint.Node)),
+			// Caf from §4.2: storm with at least one {mem} on the same node.
+			constraint.New(constraint.Affinity(
+				constraint.E(TagStorm, appTag), constraint.E(TagMemcached, appTag), constraint.Node)),
+		)
+	}
+	return app
+}
+
+// GridMixJob is one synthetic batch job (Tez-like), as produced by the
+// GridMix generator the paper extends (§7.1).
+type GridMixJob struct {
+	ID    string
+	Queue string
+	Req   taskched.TaskRequest
+}
+
+// GridMixConfig shapes the batch workload.
+type GridMixConfig struct {
+	// MeanTasks is the mean tasks per job (geometric-ish, heavy right tail).
+	MeanTasks int
+	// MeanDuration is the mean task duration.
+	MeanDuration time.Duration
+	// Demand is the per-task container size (paper: <1 GB, 1c>).
+	Demand resource.Vector
+}
+
+// DefaultGridMix mirrors the paper's batch containers.
+func DefaultGridMix() GridMixConfig {
+	return GridMixConfig{MeanTasks: 20, MeanDuration: 90 * time.Second, Demand: resource.DefaultProfile}
+}
+
+// GridMix generates n batch jobs.
+func GridMix(rng *rand.Rand, n int, cfg GridMixConfig) []GridMixJob {
+	if cfg.Demand.IsZero() {
+		cfg.Demand = resource.DefaultProfile
+	}
+	jobs := make([]GridMixJob, n)
+	for i := range jobs {
+		tasks := 1 + int(rng.ExpFloat64()*float64(cfg.MeanTasks))
+		if tasks > cfg.MeanTasks*10 {
+			tasks = cfg.MeanTasks * 10
+		}
+		dur := time.Duration((0.5 + rng.ExpFloat64()) * float64(cfg.MeanDuration))
+		jobs[i] = GridMixJob{
+			ID:    fmt.Sprintf("gridmix-%04d", i),
+			Queue: "batch",
+			Req:   taskched.TaskRequest{Count: tasks, Demand: cfg.Demand, Duration: dur},
+		}
+	}
+	return jobs
+}
+
+// TraceTask is one arrival of the Google-trace-like process.
+type TraceTask struct {
+	Job     string
+	Arrival time.Duration // offset from trace start
+	Req     taskched.TaskRequest
+}
+
+// GoogleTraceConfig shapes the trace replay of §7.5 (Figure 11c).
+type GoogleTraceConfig struct {
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// MeanInterarrival is the sped-up inter-arrival time (the paper speeds
+	// the trace up 200×; at that factor job arrivals are ~50ms apart).
+	MeanInterarrival time.Duration
+	// MeanTasksPerJob controls the heavy-tailed per-job task count
+	// (Google trace jobs are mostly small with rare huge ones).
+	MeanTasksPerJob int
+	// MeanDuration is the (sped-up) mean task duration.
+	MeanDuration time.Duration
+}
+
+// DefaultGoogleTrace approximates the 2011 Google trace at 200× speedup.
+func DefaultGoogleTrace() GoogleTraceConfig {
+	return GoogleTraceConfig{
+		Jobs:             400,
+		MeanInterarrival: 50 * time.Millisecond,
+		MeanTasksPerJob:  10,
+		MeanDuration:     3 * time.Second,
+	}
+}
+
+// GoogleTrace generates the arrival sequence, sorted by arrival time.
+func GoogleTrace(rng *rand.Rand, cfg GoogleTraceConfig) []TraceTask {
+	out := make([]TraceTask, 0, cfg.Jobs)
+	at := time.Duration(0)
+	for j := 0; j < cfg.Jobs; j++ {
+		at += time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		// Heavy-tailed task count: Pareto(α≈1.1, xmin=1) has mean ≈ 11·xmin
+		// with a mostly-small body, matching the Google trace's skew;
+		// xmin scales with the configured mean.
+		alpha := 1.1
+		xmin := float64(cfg.MeanTasksPerJob) * (alpha - 1) / alpha
+		if xmin < 1 {
+			xmin = 1
+		}
+		tasks := int(xmin / powNonZero(rng.Float64(), 1/alpha))
+		if tasks < 1 {
+			tasks = 1
+		}
+		if tasks > cfg.MeanTasksPerJob*50 {
+			tasks = cfg.MeanTasksPerJob * 50
+		}
+		dur := time.Duration((0.2 + rng.ExpFloat64()) * float64(cfg.MeanDuration))
+		out = append(out, TraceTask{
+			Job:     fmt.Sprintf("gjob-%05d", j),
+			Arrival: at,
+			Req:     taskched.TaskRequest{Count: tasks, Demand: resource.DefaultProfile, Duration: dur},
+		})
+	}
+	return out
+}
+
+func powNonZero(x, p float64) float64 {
+	if x < 1e-9 {
+		x = 1e-9
+	}
+	// x^p via exp/log avoided; use math.Pow through a tiny wrapper to keep
+	// the import local.
+	return pow(x, p)
+}

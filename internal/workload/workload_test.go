@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"medea/internal/constraint"
+	"medea/internal/sim"
+)
+
+func TestHBaseShape(t *testing.T) {
+	app := HBase("hb-1", DefaultHBase())
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.NumContainers(); got != 13 {
+		t.Errorf("containers = %d, want 13 (1+1+1+10)", got)
+	}
+	if len(app.Constraints) != 4 {
+		t.Errorf("constraints = %d, want 4", len(app.Constraints))
+	}
+	// The cardinality template must be "≤1 other worker" for max 2/node.
+	found := false
+	for _, c := range app.Constraints {
+		if a, ok := c.Simple(); ok && a.Max == 1 && a.Group == constraint.Node && a.SelfTargeting() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("max-2-workers-per-node template missing")
+	}
+}
+
+func TestHBaseOptionalConstraints(t *testing.T) {
+	app := HBase("hb-2", HBaseConfig{Workers: 5})
+	if len(app.Constraints) != 0 {
+		t.Errorf("constraints = %d, want 0", len(app.Constraints))
+	}
+	if got := app.NumContainers(); got != 8 {
+		t.Errorf("containers = %d", got)
+	}
+}
+
+func TestTensorFlowShape(t *testing.T) {
+	app := TensorFlow("tf-1", DefaultTF())
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.NumContainers(); got != 11 {
+		t.Errorf("containers = %d, want 11 (1+2+8)", got)
+	}
+	if len(app.Constraints) != 2 {
+		t.Errorf("constraints = %d", len(app.Constraints))
+	}
+	// Chief gets the bigger profile.
+	if app.Groups[0].Demand.MemoryMB != 4096 {
+		t.Errorf("chief demand = %v", app.Groups[0].Demand)
+	}
+}
+
+func TestStormPipelineModes(t *testing.T) {
+	none := StormPipeline("s", 5, "none")
+	if len(none.Constraints) != 0 {
+		t.Errorf("mode none constraints = %d", len(none.Constraints))
+	}
+	intra := StormPipeline("s", 5, "intra")
+	if len(intra.Constraints) != 1 {
+		t.Errorf("mode intra constraints = %d", len(intra.Constraints))
+	}
+	both := StormPipeline("s", 5, "intra-inter")
+	if len(both.Constraints) != 2 {
+		t.Errorf("mode intra-inter constraints = %d", len(both.Constraints))
+	}
+	if got := both.NumContainers(); got != 6 {
+		t.Errorf("containers = %d, want 6", got)
+	}
+}
+
+func TestGridMixDeterministic(t *testing.T) {
+	a := GridMix(sim.RNG(1, "gm"), 20, DefaultGridMix())
+	b := GridMix(sim.RNG(1, "gm"), 20, DefaultGridMix())
+	if len(a) != 20 {
+		t.Fatalf("jobs = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Req.Count != b[i].Req.Count || a[i].Req.Duration != b[i].Req.Duration {
+			t.Fatal("generator not deterministic")
+		}
+		if a[i].Req.Count <= 0 || a[i].Req.Duration <= 0 {
+			t.Fatalf("degenerate job %+v", a[i])
+		}
+	}
+}
+
+func TestGoogleTraceShape(t *testing.T) {
+	tasks := GoogleTrace(sim.RNG(7, "trace"), DefaultGoogleTrace())
+	if len(tasks) != 400 {
+		t.Fatalf("jobs = %d", len(tasks))
+	}
+	prev := time.Duration(-1)
+	small, big := 0, 0
+	for _, tt := range tasks {
+		if tt.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = tt.Arrival
+		if tt.Req.Count <= 0 {
+			t.Fatalf("bad task count %d", tt.Req.Count)
+		}
+		if tt.Req.Count <= 3 {
+			small++
+		}
+		if tt.Req.Count > 50 {
+			big++
+		}
+	}
+	// Heavy tail: mostly small jobs, some large ones.
+	if small < len(tasks)/2 {
+		t.Errorf("small jobs = %d of %d; distribution not skewed", small, len(tasks))
+	}
+	if big == 0 {
+		t.Error("no large jobs; tail missing")
+	}
+}
+
+func TestInterAppBatch(t *testing.T) {
+	apps := InterAppBatch(sim.RNG(3, "ia"), 6, 4, 3, "x")
+	if len(apps) != 6 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Group {0,1,2}: app 0 is the anchor with a node pair to app 1 plus
+	// self anti-affinity; apps 1 and 2 carry rack affinity to the anchor.
+	if len(apps[0].Constraints) != 2 {
+		t.Errorf("anchor constraints = %d, want 2 (pair + self)", len(apps[0].Constraints))
+	}
+	if len(apps[1].Constraints) != 2 {
+		t.Errorf("member-1 constraints = %d, want 2 (rack + self)", len(apps[1].Constraints))
+	}
+	if len(apps[2].Constraints) != 2 {
+		t.Errorf("member-2 constraints = %d, want 2 (rack + self)", len(apps[2].Constraints))
+	}
+	// Complexity 1 degenerates to intra-app anti-affinity only.
+	solo := InterAppBatch(sim.RNG(3, "ia"), 2, 4, 1, "y")
+	for _, a := range solo {
+		if len(a.Constraints) != 1 {
+			t.Errorf("complexity-1 constraints = %d", len(a.Constraints))
+		}
+	}
+}
+
+func TestResilienceApp(t *testing.T) {
+	app := ResilienceApp("r1", 100)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.NumContainers() != 100 {
+		t.Errorf("containers = %d", app.NumContainers())
+	}
+	a, ok := app.Constraints[0].Simple()
+	if !ok || a.Group != constraint.ServiceUnit {
+		t.Errorf("constraint = %+v", a)
+	}
+}
