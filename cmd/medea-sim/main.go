@@ -7,7 +7,7 @@
 //	medea-sim all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig2d fig3 table1 fig7 fig8
-// fig9a fig9b fig9c fig9d fig10 fig11a fig11b fig11c
+// fig8live fig9a fig9b fig9c fig9d fig10 fig11a fig11b fig11c
 package main
 
 import (
@@ -34,23 +34,24 @@ func main() {
 	o := experiments.Options{Seed: *seed, Scale: *scale, SolverBudget: *budget}
 
 	runners := map[string]func(experiments.Options) []*metrics.Table{
-		"fig1":   single(experiments.RunFig1),
-		"fig2a":  single(experiments.RunFig2a),
-		"fig2b":  single(experiments.RunFig2b),
-		"fig2c":  single(experiments.RunFig2c),
-		"fig2d":  single(experiments.RunFig2d),
-		"fig3":   single(experiments.RunFig3),
-		"table1": single(experiments.RunTable1),
-		"fig7":   func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
-		"fig8":   single(experiments.RunFig8),
-		"fig9a":  single(experiments.RunFig9a),
-		"fig9b":  single(experiments.RunFig9b),
-		"fig9c":  single(experiments.RunFig9c),
-		"fig9d":  single(experiments.RunFig9d),
-		"fig10":  func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
-		"fig11a": single(experiments.RunFig11a),
-		"fig11b": single(experiments.RunFig11b),
-		"fig11c": single(experiments.RunFig11c),
+		"fig1":     single(experiments.RunFig1),
+		"fig2a":    single(experiments.RunFig2a),
+		"fig2b":    single(experiments.RunFig2b),
+		"fig2c":    single(experiments.RunFig2c),
+		"fig2d":    single(experiments.RunFig2d),
+		"fig3":     single(experiments.RunFig3),
+		"table1":   single(experiments.RunTable1),
+		"fig7":     func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
+		"fig8":     single(experiments.RunFig8),
+		"fig8live": single(experiments.RunFig8Live),
+		"fig9a":    single(experiments.RunFig9a),
+		"fig9b":    single(experiments.RunFig9b),
+		"fig9c":    single(experiments.RunFig9c),
+		"fig9d":    single(experiments.RunFig9d),
+		"fig10":    func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
+		"fig11a":   single(experiments.RunFig11a),
+		"fig11b":   single(experiments.RunFig11b),
+		"fig11c":   single(experiments.RunFig11c),
 	}
 
 	names := flag.Args()
@@ -95,6 +96,7 @@ experiments:
   table1  scheduler feature matrix
   fig7    application performance box plots (4 tables)
   fig8    resilience: max container unavailability CDF
+  fig8live live recovery under replayed SU churn (MTTR, degraded time)
   fig9a   violations vs LRA utilization
   fig9b   violations vs task-based utilization
   fig9c   violations vs periodicity

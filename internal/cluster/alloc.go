@@ -20,8 +20,8 @@ func (c *Cluster) Allocate(node NodeID, id ContainerID, demand resource.Vector, 
 		return fmt.Errorf("cluster: container %s already allocated", id)
 	}
 	n := c.nodes[node]
-	if !n.available {
-		return fmt.Errorf("cluster: node %s is unavailable", n.Name)
+	if n.state != NodeUp {
+		return fmt.Errorf("cluster: node %s is %s", n.Name, n.state)
 	}
 	if !demand.Fits(n.Free()) {
 		return fmt.Errorf("cluster: container %s %v does not fit on %s (free %v)",
@@ -122,11 +122,16 @@ func (c *Cluster) GammaNode(node NodeID, expr constraint.Expr) int {
 	return c.nodes[node].tags.CountExpr(expr)
 }
 
-// SetAvailable marks a node up or down. Marking a node down does not
-// release its containers (their fate is the application's concern, as in
-// the resilience study of §7.3); it only stops new allocations.
+// SetAvailable marks a node up or down WITHOUT evicting its containers
+// (their fate is the application's concern, as in the offline resilience
+// replay of §7.3); it only gates new allocations. Live failure handling —
+// eviction plus recovery — goes through FailNode/RecoverNode instead.
 func (c *Cluster) SetAvailable(node NodeID, up bool) {
-	c.nodes[node].available = up
+	if up {
+		c.nodes[node].state = NodeUp
+	} else {
+		c.nodes[node].state = NodeDown
+	}
 }
 
 // Clone returns a deep copy of the cluster, used by schedulers for
@@ -163,10 +168,10 @@ func (c *Cluster) Clone() *Cluster {
 			panic(fmt.Sprintf("cluster: clone re-allocate %s: %v", id, err))
 		}
 	}
-	// Availability is copied last so that containers on currently-down
-	// nodes re-allocate cleanly above.
+	// Availability is copied last so that containers on currently-down or
+	// draining nodes re-allocate cleanly above.
 	for i, n := range c.nodes {
-		cc.nodes[i].available = n.available
+		cc.nodes[i].state = n.state
 	}
 	return cc
 }
@@ -176,7 +181,7 @@ func (c *Cluster) Clone() *Cluster {
 func (c *Cluster) ContainerIDs() []ContainerID {
 	out := make([]ContainerID, 0, len(c.containers))
 	for id := range c.containers {
-		if len(id) > 7 && id[:7] == "static:" {
+		if isStaticID(id) {
 			continue
 		}
 		out = append(out, id)

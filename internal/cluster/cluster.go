@@ -29,6 +29,32 @@ func MakeContainerID(appID string, index int) ContainerID {
 	return ContainerID(fmt.Sprintf("%s#%d", appID, index))
 }
 
+// NodeState is the runtime availability state of a node.
+type NodeState uint8
+
+const (
+	// NodeUp accepts new allocations.
+	NodeUp NodeState = iota
+	// NodeDraining refuses new allocations but keeps resident containers
+	// running (planned maintenance; §2.3 upgrades).
+	NodeDraining
+	// NodeDown is failed or under upgrade: no allocations, and resident
+	// containers were evicted when the node went down.
+	NodeDown
+)
+
+// String renders the state for diagnostics.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDraining:
+		return "draining"
+	default:
+		return "down"
+	}
+}
+
 // Node is a cluster machine.
 type Node struct {
 	ID       NodeID
@@ -38,23 +64,27 @@ type Node struct {
 	used       resource.Vector
 	tags       *constraint.Set
 	containers map[ContainerID]struct{}
-	available  bool
+	state      NodeState
 }
 
 // Used returns the resources currently allocated on the node.
 func (n *Node) Used() resource.Vector { return n.used }
 
 // Free returns the resources currently free on the node; zero when the
-// node is unavailable.
+// node is not accepting allocations (draining or down).
 func (n *Node) Free() resource.Vector {
-	if !n.available {
+	if n.state != NodeUp {
 		return resource.Vector{}
 	}
 	return n.Capacity.Sub(n.used)
 }
 
-// Available reports whether the node is up (not failed / under upgrade).
-func (n *Node) Available() bool { return n.available }
+// Available reports whether the node accepts new allocations (up, not
+// draining and not failed / under upgrade).
+func (n *Node) Available() bool { return n.state == NodeUp }
+
+// State returns the node's runtime availability state.
+func (n *Node) State() NodeState { return n.state }
 
 // Tags returns the node tag set 𝒯n (live view; do not mutate).
 func (n *Node) Tags() *constraint.Set { return n.tags }
@@ -105,7 +135,7 @@ func (c *Cluster) AddNode(name string, capacity resource.Vector) NodeID {
 		Capacity:   capacity,
 		tags:       constraint.NewSet(),
 		containers: make(map[ContainerID]struct{}),
-		available:  true,
+		state:      NodeUp,
 	}
 	c.nodes = append(c.nodes, n)
 	g := c.groups[constraint.Node]
@@ -214,9 +244,14 @@ func (c *Cluster) NumSets(name constraint.GroupName) int {
 	return len(g.sets)
 }
 
-// SetMembers returns the node IDs of one set of a group.
+// SetMembers returns the node IDs of one set of a group (nil when the
+// group is unknown, like SetsOfNode).
 func (c *Cluster) SetMembers(name constraint.GroupName, sid SetID) []NodeID {
-	return c.groups[name].sets[sid]
+	g := c.groups[name]
+	if g == nil {
+		return nil
+	}
+	return g.sets[sid]
 }
 
 // SetsOfNode returns the IDs of the sets of a group that contain the node

@@ -136,6 +136,7 @@ type NodeSnapshot struct {
 	UsedCores  int64  `json:"usedCores"`
 	Containers int    `json:"containers"`
 	Available  bool   `json:"available"`
+	State      string `json:"state"`
 }
 
 // TakeSnapshot captures the current state.
@@ -151,7 +152,8 @@ func (c *Cluster) TakeSnapshot() Snapshot {
 			FreeMB:     n.Free().MemoryMB,
 			UsedCores:  n.used.VCores,
 			Containers: len(n.containers),
-			Available:  n.available,
+			Available:  n.Available(),
+			State:      n.state.String(),
 		})
 	}
 	return snap

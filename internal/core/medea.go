@@ -14,6 +14,8 @@ import (
 	"medea/internal/cluster"
 	"medea/internal/constraint"
 	"medea/internal/lra"
+	"medea/internal/metrics"
+	"medea/internal/resource"
 	"medea/internal/taskched"
 )
 
@@ -25,20 +27,105 @@ type Config struct {
 	Interval time.Duration
 	// Options are passed to the LRA algorithm.
 	Options lra.Options
-	// MaxRetries bounds LRA resubmission after placement conflicts (§5.4);
-	// default 3.
+	// MaxRetries bounds LRA resubmission after placement conflicts (§5.4).
+	// The zero value selects the default of 3; a negative value disables
+	// retries entirely (an LRA that fails its first cycle is rejected) —
+	// without the sentinel, "no retries" would be unexpressible.
 	MaxRetries int
 	// ScheduleTasksViaLRA turns the instance into the ILP-ALL strawman of
 	// §7.5 (Figure 11b): task requests are converted into single-group
 	// LRAs and routed through the LRA scheduler, abandoning the
 	// two-scheduler split.
 	ScheduleTasksViaLRA bool
+
+	// RepairMaxRetries bounds repair attempts per degraded LRA after node
+	// failures before the repair is abandoned (zero = 5, negative = no
+	// retries: one attempt only).
+	RepairMaxRetries int
+	// RepairBackoff is the base delay between repair attempts for one
+	// LRA; consecutive failures back off exponentially from it (zero =
+	// Interval).
+	RepairBackoff time.Duration
+	// RepairBackoffMax caps the exponential repair backoff (zero = 8 ×
+	// RepairBackoff).
+	RepairBackoffMax time.Duration
+	// RepairFallbackAfter is the number of consecutive failed repair
+	// attempts for one LRA after which its repair batch is placed with
+	// the greedy Medea-NC heuristic instead of the configured algorithm —
+	// graceful degradation when the ILP repeatedly times out or conflicts
+	// (zero = 2, negative = never fall back).
+	RepairFallbackAfter int
+}
+
+// maxRetries resolves the MaxRetries sentinel: 0 → default 3, negative →
+// no retries.
+func (c Config) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c Config) repairMaxRetries() int {
+	if c.RepairMaxRetries == 0 {
+		return 5
+	}
+	if c.RepairMaxRetries < 0 {
+		return 0
+	}
+	return c.RepairMaxRetries
+}
+
+func (c Config) repairBackoff() time.Duration {
+	if c.RepairBackoff > 0 {
+		return c.RepairBackoff
+	}
+	return c.Interval
+}
+
+func (c Config) repairBackoffMax() time.Duration {
+	if c.RepairBackoffMax > 0 {
+		return c.RepairBackoffMax
+	}
+	return 8 * c.repairBackoff()
+}
+
+// repairFallbackAfter resolves the fallback threshold; -1 means never.
+func (c Config) repairFallbackAfter() int {
+	if c.RepairFallbackAfter == 0 {
+		return 2
+	}
+	if c.RepairFallbackAfter < 0 {
+		return -1
+	}
+	return c.RepairFallbackAfter
 }
 
 type pendingApp struct {
 	app     *lra.Application
 	submit  time.Time
 	retries int
+}
+
+// containerSpec is what core remembers about one live LRA container, so
+// an equivalent replacement can be requested after an eviction.
+type containerSpec struct {
+	group  string
+	demand resource.Vector
+	tags   []constraint.Tag // effective tags, incl. the appID tag
+}
+
+// deployment is the live state of one placed LRA.
+type deployment struct {
+	app        *lra.Application
+	containers map[cluster.ContainerID]containerSpec
+	order      []cluster.ContainerID // placement order, for Deployed
+	// degradedSince is the wall-clock start of the current degradation
+	// window (zero when the LRA is at full strength).
+	degradedSince time.Time
 }
 
 // Medea is the cluster scheduler.
@@ -52,7 +139,18 @@ type Medea struct {
 	pending []*pendingApp
 	nextRun time.Time
 
-	deployed map[string][]cluster.ContainerID
+	deployed map[string]*deployment
+	owner    map[cluster.ContainerID]string // live LRA container -> appID
+
+	// repairs holds at most one pending repair request per degraded LRA.
+	repairs   map[string]*repairReq
+	repairSeq int
+	// repairFallback is the degraded-mode heuristic (lazily built).
+	repairFallback lra.Algorithm
+
+	// Recovery aggregates failure-recovery counters (evictions, repairs,
+	// MTTR, degraded time per LRA).
+	Recovery metrics.RecoveryStats
 
 	// LRALatencies records submission-to-commit latency per placed LRA.
 	LRALatencies []time.Duration
@@ -69,16 +167,15 @@ func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.Q
 	if cfg.Interval == 0 {
 		cfg.Interval = 10 * time.Second
 	}
-	if cfg.MaxRetries == 0 {
-		cfg.MaxRetries = 3
-	}
 	return &Medea{
 		Cluster:     c,
 		Constraints: constraint.NewManager(),
 		Tasks:       taskched.New(c, queues...),
 		alg:         alg,
 		cfg:         cfg,
-		deployed:    make(map[string][]cluster.ContainerID),
+		deployed:    make(map[string]*deployment),
+		owner:       make(map[cluster.ContainerID]string),
+		repairs:     make(map[string]*repairReq),
 	}
 }
 
@@ -128,10 +225,14 @@ func (m *Medea) SubmitTasks(appID, queue string, now time.Time, reqs ...taskched
 // PendingLRAs returns the number of LRAs awaiting a scheduling cycle.
 func (m *Medea) PendingLRAs() int { return len(m.pending) }
 
-// Deployed reports whether an LRA is fully deployed, and its containers.
+// Deployed reports whether an LRA is deployed, and its live containers
+// (in placement order; fewer than the declared count while degraded).
 func (m *Medea) Deployed(appID string) ([]cluster.ContainerID, bool) {
-	ids, ok := m.deployed[appID]
-	return ids, ok
+	dep, ok := m.deployed[appID]
+	if !ok {
+		return nil, false
+	}
+	return append([]cluster.ContainerID(nil), dep.order...), true
 }
 
 // CycleStats summarises one LRA scheduling cycle.
@@ -141,50 +242,79 @@ type CycleStats struct {
 	Requeued   int
 	Rejected   int
 	AlgLatency time.Duration
+	// Repaired counts containers restored by the recovery loop this
+	// cycle; RepairFailures counts repair batches that failed.
+	Repaired       int
+	RepairFailures int
 }
 
 // Tick runs a scheduling cycle if the interval has elapsed. The simulator
-// calls this at every event step.
+// calls this at every event step. Cycle deadlines are anchored on the
+// schedule established by the first tick, not on the call time: a tick
+// that arrives late (the caller was busy) advances the deadline by whole
+// intervals, so cycle boundaries never skew under load, and an idle tick
+// leaves the deadline untouched, so work submitted during an idle period
+// is scheduled at the next tick rather than a full interval later.
 func (m *Medea) Tick(now time.Time) (CycleStats, bool) {
+	if m.nextRun.IsZero() {
+		m.nextRun = now // first tick anchors the schedule
+	}
 	if now.Before(m.nextRun) {
 		return CycleStats{}, false
 	}
-	m.nextRun = now.Add(m.cfg.Interval)
-	if len(m.pending) == 0 {
+	if len(m.pending) == 0 && !m.repairsDue(now) {
 		return CycleStats{}, false
 	}
+	for !m.nextRun.After(now) {
+		m.nextRun = m.nextRun.Add(m.cfg.Interval)
+	}
 	return m.RunCycle(now), true
+}
+
+// activeExcluding returns the active constraint entries minus the
+// application-sourced entries of the given apps (whose constraints travel
+// with the batch itself, to avoid double counting).
+func (m *Medea) activeExcluding(exclude map[string]bool) []constraint.Entry {
+	var active []constraint.Entry
+	for _, e := range m.Constraints.Active() {
+		if e.Source == constraint.SourceApplication && exclude[e.AppID] {
+			continue
+		}
+		active = append(active, e)
+	}
+	return active
 }
 
 // RunCycle invokes the LRA scheduler on the current batch and commits the
 // resulting placements through the task-based scheduler (Figure 4 steps
 // 1–3). Placements that conflict with the evolved cluster state are
-// resubmitted for the next cycle (§5.4).
+// resubmitted for the next cycle (§5.4). Pending repairs of degraded
+// LRAs run first, so restored containers are visible to the batch's
+// constraint evaluation.
 func (m *Medea) RunCycle(now time.Time) CycleStats {
+	stats := CycleStats{}
+	m.runRepairs(now, &stats)
+
 	batch := m.pending
 	m.pending = nil
 	apps := make([]*lra.Application, len(batch))
+	inBatch := make(map[string]bool, len(batch))
 	for i, p := range batch {
 		apps[i] = p.app
+		inBatch[p.app.ID] = true
+	}
+	stats.Batch = len(batch)
+	if len(batch) == 0 {
+		return stats
 	}
 	// The batch's own constraints travel with the apps; Active() holds
 	// deployed LRAs' and operator constraints. Deployed-app constraints
 	// include those of the batch (registered at submit), so exclude the
 	// batch apps from the active set to avoid double counting.
-	inBatch := make(map[string]bool, len(apps))
-	for _, a := range apps {
-		inBatch[a.ID] = true
-	}
-	var active []constraint.Entry
-	for _, e := range m.Constraints.Active() {
-		if e.Source == constraint.SourceApplication && inBatch[e.AppID] {
-			continue
-		}
-		active = append(active, e)
-	}
+	active := m.activeExcluding(inBatch)
 
 	res := m.alg.Place(m.Cluster, apps, active, m.cfg.Options)
-	stats := CycleStats{Batch: len(batch), AlgLatency: res.Latency}
+	stats.AlgLatency = res.Latency
 	for i, p := range res.Placements {
 		pa := batch[i]
 		if !p.Placed {
@@ -205,11 +335,16 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 			m.requeueOrReject(pa, &stats)
 			continue
 		}
-		ids := make([]cluster.ContainerID, len(p.Assignments))
-		for j, a := range p.Assignments {
-			ids[j] = a.Container
+		dep := &deployment{
+			app:        pa.app,
+			containers: make(map[cluster.ContainerID]containerSpec, len(p.Assignments)),
 		}
-		m.deployed[p.AppID] = ids
+		for _, a := range p.Assignments {
+			dep.containers[a.Container] = containerSpec{group: a.Group, demand: a.Demand, tags: a.Tags}
+			dep.order = append(dep.order, a.Container)
+			m.owner[a.Container] = p.AppID
+		}
+		m.deployed[p.AppID] = dep
 		m.LRALatencies = append(m.LRALatencies, now.Sub(pa.submit)+res.Latency)
 		stats.Placed++
 	}
@@ -218,7 +353,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 
 func (m *Medea) requeueOrReject(pa *pendingApp, stats *CycleStats) {
 	pa.retries++
-	if pa.retries > m.cfg.MaxRetries {
+	if pa.retries > m.cfg.maxRetries() {
 		m.Constraints.RemoveApplication(pa.app.ID)
 		m.Rejected = append(m.Rejected, pa.app.ID)
 		stats.Rejected++
@@ -228,19 +363,21 @@ func (m *Medea) requeueOrReject(pa *pendingApp, stats *CycleStats) {
 	stats.Requeued++
 }
 
-// RemoveLRA tears an LRA down: releases its containers and drops its
-// constraints.
+// RemoveLRA tears an LRA down: releases its containers, drops its
+// constraints and cancels any pending repair.
 func (m *Medea) RemoveLRA(appID string) error {
-	ids, ok := m.deployed[appID]
+	dep, ok := m.deployed[appID]
 	if !ok {
 		return fmt.Errorf("core: LRA %s not deployed", appID)
 	}
-	for _, id := range ids {
+	for _, id := range dep.order {
 		if err := m.Cluster.Release(id); err != nil {
 			return err
 		}
+		delete(m.owner, id)
 	}
 	delete(m.deployed, appID)
+	delete(m.repairs, appID)
 	m.Constraints.RemoveApplication(appID)
 	return nil
 }
@@ -255,15 +392,9 @@ func (m *Medea) ActiveEntries() []constraint.Entry { return m.Constraints.Active
 // plan; moves that fail to re-commit (lost races with task allocations)
 // roll back to their original node and are dropped from the plan.
 func (m *Medea) Rebalance(opts lra.MigrationOptions) *lra.MigrationPlan {
-	lraOwned := make(map[cluster.ContainerID]bool)
-	for _, ids := range m.deployed {
-		for _, id := range ids {
-			lraOwned[id] = true
-		}
-	}
 	prev := opts.Movable
 	opts.Movable = func(id cluster.ContainerID) bool {
-		if !lraOwned[id] {
+		if _, lraOwned := m.owner[id]; !lraOwned {
 			return false
 		}
 		return prev == nil || prev(id)

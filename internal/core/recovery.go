@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/lra"
+	"medea/internal/taskched"
+)
+
+// Failure recovery (the live counterpart of §7.3): when a node goes down,
+// its containers are evicted by the cluster layer; Medea detects which
+// deployed LRAs were degraded and re-queues ONLY the lost container
+// groups as repair requests. Repairs run at the start of every scheduling
+// cycle, with a per-LRA retry budget and exponential backoff between
+// attempts, and fall back from the configured algorithm (typically the
+// ILP) to the greedy Medea-NC heuristic when a repair batch keeps
+// failing — graceful degradation in the spirit of §5.3's heuristics.
+// Repair placements respect the LRA's original constraints and are
+// committed through the task-based scheduler like any other placement
+// (§5.4's single-writer discipline), so repairs can lose races with task
+// allocations and retry just like initial placements.
+
+// repairPiece is one lost container awaiting a replacement. The original
+// container ID is reused for the replacement, so an LRA's container
+// identity is stable across failures.
+type repairPiece struct {
+	id   cluster.ContainerID
+	spec containerSpec
+}
+
+// repairReq collects the lost containers of one degraded LRA.
+type repairReq struct {
+	appID     string
+	lost      []repairPiece
+	attempts  int
+	notBefore time.Time // backoff gate
+	since     time.Time // first eviction of this degradation window
+}
+
+// knownNode reports whether the ID names a node of the cluster; state
+// transitions on unknown IDs are no-ops (failure reports come from
+// outside the scheduler and may be stale or malformed).
+func (m *Medea) knownNode(node cluster.NodeID) bool {
+	return node >= 0 && int(node) < m.Cluster.NumNodes()
+}
+
+// FailNode takes a node down at runtime and routes the evicted containers
+// into the repair queue. It returns the evicted set (nil if the node was
+// already down or unknown).
+func (m *Medea) FailNode(node cluster.NodeID, now time.Time) []cluster.Eviction {
+	if !m.knownNode(node) || m.Cluster.Node(node).State() == cluster.NodeDown {
+		return nil
+	}
+	evs := m.Cluster.FailNode(node)
+	m.Recovery.NodeFailures++
+	m.HandleEvictions(evs, now)
+	return evs
+}
+
+// RecoverNode brings a node back. Pending repair backoffs are cleared:
+// capacity just returned, so every degraded LRA becomes repair-eligible
+// at the next cycle. It reports whether the node state changed.
+func (m *Medea) RecoverNode(node cluster.NodeID, now time.Time) bool {
+	if !m.Cluster.RecoverNode(node) {
+		return false
+	}
+	m.Recovery.NodeRecoveries++
+	for _, r := range m.repairs {
+		if r.notBefore.After(now) {
+			r.notBefore = now
+		}
+	}
+	return true
+}
+
+// DrainNode starts planned maintenance on a node: no new allocations land
+// on it, resident LRA containers are released and re-queued for placement
+// elsewhere through the repair pipeline, and resident task containers
+// keep running to completion (they are short-lived by design). It returns
+// the relocated LRA containers (nil if the node was not up or unknown).
+func (m *Medea) DrainNode(node cluster.NodeID, now time.Time) []cluster.Eviction {
+	if !m.knownNode(node) || m.Cluster.Node(node).State() != cluster.NodeUp {
+		return nil
+	}
+	resident := m.Cluster.DrainNode(node)
+	m.Recovery.NodeDrains++
+	var lraEvs []cluster.Eviction
+	for _, ev := range resident {
+		if _, owned := m.owner[ev.Container]; !owned {
+			continue
+		}
+		if err := m.Cluster.Release(ev.Container); err != nil {
+			panic(err) // unreachable: releasing a just-enumerated resident container
+		}
+		lraEvs = append(lraEvs, ev)
+	}
+	m.HandleEvictions(lraEvs, now)
+	return lraEvs
+}
+
+// HandleEvictions ingests container evictions produced by cluster-level
+// state transitions (e.g. a caller driving Cluster.FailNode directly):
+// lost LRA containers are queued for repair, displaced task containers
+// are reported to the task scheduler for queue accounting. It returns the
+// number of degraded LRAs.
+func (m *Medea) HandleEvictions(evs []cluster.Eviction, now time.Time) int {
+	degraded := map[string]bool{}
+	var taskEvs []cluster.Eviction
+	for _, ev := range evs {
+		appID, owned := m.owner[ev.Container]
+		if !owned {
+			m.Recovery.TaskEvictions++
+			taskEvs = append(taskEvs, ev)
+			continue
+		}
+		dep := m.deployed[appID]
+		spec, ok := dep.containers[ev.Container]
+		if !ok {
+			continue // already evicted (defensive; evictions are reported once)
+		}
+		m.Recovery.Evictions++
+		degraded[appID] = true
+		delete(dep.containers, ev.Container)
+		delete(m.owner, ev.Container)
+		for i, id := range dep.order {
+			if id == ev.Container {
+				dep.order = append(dep.order[:i], dep.order[i+1:]...)
+				break
+			}
+		}
+		if dep.degradedSince.IsZero() {
+			dep.degradedSince = now
+		}
+		r := m.repairs[appID]
+		if r == nil {
+			r = &repairReq{appID: appID, since: now, notBefore: now}
+			m.repairs[appID] = r
+		}
+		r.lost = append(r.lost, repairPiece{id: ev.Container, spec: spec})
+	}
+	if len(taskEvs) > 0 {
+		m.Tasks.HandleEvictions(taskEvs)
+	}
+	return len(degraded)
+}
+
+// DegradedLRAs returns the IDs of deployed LRAs currently below their
+// declared container count, sorted.
+func (m *Medea) DegradedLRAs() []string {
+	var out []string
+	for appID, dep := range m.deployed {
+		if len(dep.containers) < dep.app.NumContainers() {
+			out = append(out, appID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingRepairs returns the number of containers awaiting repair.
+func (m *Medea) PendingRepairs() int {
+	n := 0
+	for _, r := range m.repairs {
+		n += len(r.lost)
+	}
+	return n
+}
+
+// repairsDue reports whether any repair is past its backoff gate.
+func (m *Medea) repairsDue(now time.Time) bool {
+	for _, r := range m.repairs {
+		if !r.notBefore.After(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// runRepairs attempts every due repair request, one batch per degraded
+// LRA. Each batch is all-or-nothing (Equation 4 applies to repairs too):
+// either every lost container of the LRA is restored or the attempt
+// fails and backs off.
+func (m *Medea) runRepairs(now time.Time, stats *CycleStats) {
+	if len(m.repairs) == 0 {
+		return
+	}
+	var due []string
+	for appID, r := range m.repairs {
+		if !r.notBefore.After(now) {
+			due = append(due, appID)
+		}
+	}
+	sort.Strings(due)
+	for _, appID := range due {
+		r := m.repairs[appID]
+		dep := m.deployed[appID]
+		if dep == nil {
+			delete(m.repairs, appID) // LRA removed while degraded
+			continue
+		}
+		if m.attemptRepair(r, dep, now, stats) {
+			delete(m.repairs, appID)
+		}
+	}
+}
+
+// attemptRepair tries to place and commit one repair batch; it reports
+// whether the LRA was restored.
+func (m *Medea) attemptRepair(r *repairReq, dep *deployment, now time.Time, stats *CycleStats) bool {
+	// Rebuild the lost container groups as a synthetic application. The
+	// synthetic ID must differ from the original so generated container
+	// IDs cannot collide with surviving containers; the group tags are
+	// the ORIGINAL effective tags (incl. the original appID tag), so
+	// constraint evaluation sees the repair containers exactly as it saw
+	// the lost ones.
+	m.repairSeq++
+	synthID := fmt.Sprintf("%s~repair%d", r.appID, m.repairSeq)
+	lostByGroup := map[string][]repairPiece{}
+	for _, p := range r.lost {
+		lostByGroup[p.spec.group] = append(lostByGroup[p.spec.group], p)
+	}
+	var groups []lra.ContainerGroup
+	var pieceOrder [][]repairPiece // parallel to groups
+	for _, g := range dep.app.Groups {
+		pieces := lostByGroup[g.Name]
+		if len(pieces) == 0 {
+			continue
+		}
+		groups = append(groups, lra.ContainerGroup{
+			Name:   g.Name,
+			Count:  len(pieces),
+			Demand: g.Demand,
+			Tags:   pieces[0].spec.tags,
+		})
+		pieceOrder = append(pieceOrder, pieces)
+	}
+	synth := &lra.Application{ID: synthID, Groups: groups, Constraints: dep.app.Constraints}
+
+	// Graceful degradation: after repeated failures, place with the
+	// greedy heuristic instead of the configured algorithm.
+	alg := m.alg
+	usedFallback := false
+	if fa := m.cfg.repairFallbackAfter(); fa >= 0 && r.attempts >= fa {
+		if m.repairFallback == nil {
+			m.repairFallback = lra.NewNodeCandidates()
+		}
+		alg = m.repairFallback
+		usedFallback = true
+	}
+
+	res := alg.Place(m.Cluster, []*lra.Application{synth}, m.activeExcluding(map[string]bool{r.appID: true}), m.cfg.Options)
+	p := res.Placements[0]
+	restored := p.Placed
+	var commit []taskched.CommitAssignment
+	var restoredPieces []repairPiece
+	if restored {
+		// Remap the synthetic assignments back to the original container
+		// IDs and tags, group by group.
+		next := make(map[string]int, len(groups))
+		gIdx := make(map[string]int, len(groups))
+		for i, g := range groups {
+			gIdx[g.Name] = i
+		}
+		for _, a := range p.Assignments {
+			pieces := pieceOrder[gIdx[a.Group]]
+			piece := pieces[next[a.Group]]
+			next[a.Group]++
+			commit = append(commit, taskched.CommitAssignment{
+				Container: piece.id, Node: a.Node, Demand: piece.spec.demand, Tags: piece.spec.tags,
+			})
+			restoredPieces = append(restoredPieces, piece)
+		}
+		if err := m.Tasks.Commit(commit); err != nil {
+			restored = false // lost a race; retry with backoff
+		}
+	}
+
+	if !restored {
+		r.attempts++
+		m.Recovery.RepairAttemptsFailed++
+		stats.RepairFailures++
+		if r.attempts > m.cfg.repairMaxRetries() {
+			// Budget exhausted: the LRA stays degraded. Close the
+			// accounting window here — degraded time measures the repair
+			// loop's responsiveness, not the (unbounded) aftermath.
+			m.Recovery.RepairsAbandoned++
+			m.Recovery.AddDegraded(r.appID, now.Sub(dep.degradedSince))
+			dep.degradedSince = time.Time{}
+			return true // drop the request
+		}
+		backoff := m.cfg.repairBackoff() << uint(r.attempts-1)
+		if max := m.cfg.repairBackoffMax(); backoff > max {
+			backoff = max
+		}
+		r.notBefore = now.Add(backoff)
+		return false
+	}
+
+	for _, piece := range restoredPieces {
+		dep.containers[piece.id] = piece.spec
+		dep.order = append(dep.order, piece.id)
+		m.owner[piece.id] = r.appID
+	}
+	m.Recovery.RepairsPlaced += len(restoredPieces)
+	// Repair latency is eviction→commit in scheduler time; the algorithm's
+	// wall-clock solve latency is tracked separately (res.Latency) so the
+	// metric stays deterministic under simulation.
+	m.Recovery.ObserveRepair(now.Sub(r.since))
+	if usedFallback {
+		m.Recovery.FallbackPlacements++
+	}
+	stats.Repaired += len(restoredPieces)
+	if len(dep.containers) == dep.app.NumContainers() && !dep.degradedSince.IsZero() {
+		m.Recovery.AddDegraded(r.appID, now.Sub(dep.degradedSince))
+		dep.degradedSince = time.Time{}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -239,5 +240,41 @@ func TestScaledFloor(t *testing.T) {
 	}
 	if got := o.scaled(500, 10); got != 50 {
 		t.Errorf("scaled = %d", got)
+	}
+}
+
+func TestRunFig8Live(t *testing.T) {
+	tab := RunFig8Live(tiny())
+	if tab.NumRows() != 2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	for _, row := range tab.Rows() {
+		var evicted, repaired, abandoned float64
+		if _, err := fmtSscan(row[1], &evicted); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[2], &repaired); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[3], &abandoned); err != nil {
+			t.Fatal(err)
+		}
+		if evicted == 0 {
+			t.Errorf("%s: trace replay evicted nothing", row[0])
+		}
+		if repaired+abandoned == 0 || repaired > evicted {
+			t.Errorf("%s: repair accounting evicted=%v repaired=%v abandoned=%v", row[0], evicted, repaired, abandoned)
+		}
+		if row[4] == "0s" {
+			t.Errorf("%s: zero MTTR — churn aligned with cycle boundaries?", row[0])
+		}
+	}
+	// The live replay must be deterministic too. Only the J-Kube row is
+	// compared: the ILP row depends on a wall-clock solver budget, which
+	// may truncate the search at a different point between runs (notably
+	// under -race).
+	a, b := RunFig8Live(tiny()), RunFig8Live(tiny())
+	if ra, rb := fmt.Sprint(a.Rows()[1]), fmt.Sprint(b.Rows()[1]); ra != rb {
+		t.Errorf("live experiment not deterministic for equal options:\n%s\n%s", ra, rb)
 	}
 }

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// RecoveryStats aggregates the failure-recovery counters the live
+// resilience experiments report: how much was lost to node churn, how
+// much of it the repair loop restored, how fast, and how long each LRA
+// spent degraded. core.Medea owns one instance and updates it as nodes
+// fail and repairs commit.
+type RecoveryStats struct {
+	// NodeFailures / NodeRecoveries / NodeDrains count state transitions.
+	NodeFailures   int
+	NodeRecoveries int
+	NodeDrains     int
+
+	// Evictions counts LRA containers lost to node failures or drains;
+	// TaskEvictions counts displaced task containers (their re-execution
+	// is the owning job's concern, as in the paper's task model).
+	Evictions     int
+	TaskEvictions int
+
+	// RepairsPlaced counts containers restored by the recovery loop.
+	// RepairAttemptsFailed counts repair cycles that could not place or
+	// commit a repair batch; RepairsAbandoned counts repair requests
+	// dropped after exhausting their retry budget (their containers stay
+	// lost). FallbackPlacements counts repair batches placed by the
+	// degraded-mode greedy heuristic instead of the configured algorithm.
+	RepairsPlaced        int
+	RepairAttemptsFailed int
+	RepairsAbandoned     int
+	FallbackPlacements   int
+
+	// RepairLatencies holds one sample per restored repair batch: the
+	// time from eviction to the commit of the replacement containers —
+	// the per-LRA MTTR distribution.
+	RepairLatencies []time.Duration
+
+	// DegradedTime accumulates, per LRA, the total time the application
+	// ran below its declared container count.
+	DegradedTime map[string]time.Duration
+}
+
+// ObserveRepair records one restored repair batch.
+func (r *RecoveryStats) ObserveRepair(latency time.Duration) {
+	r.RepairLatencies = append(r.RepairLatencies, latency)
+}
+
+// AddDegraded accumulates degraded time for an LRA.
+func (r *RecoveryStats) AddDegraded(appID string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if r.DegradedTime == nil {
+		r.DegradedTime = make(map[string]time.Duration)
+	}
+	r.DegradedTime[appID] += d
+}
+
+// MTTR returns the mean repair latency (0 with no samples).
+func (r *RecoveryStats) MTTR() time.Duration {
+	if len(r.RepairLatencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.RepairLatencies {
+		sum += d
+	}
+	return sum / time.Duration(len(r.RepairLatencies))
+}
+
+// MaxRepairLatency returns the slowest observed repair (0 with none).
+func (r *RecoveryStats) MaxRepairLatency() time.Duration {
+	var m time.Duration
+	for _, d := range r.RepairLatencies {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RepairLatencyBox returns the five-number summary of repair latencies in
+// seconds.
+func (r *RecoveryStats) RepairLatencyBox() BoxStats {
+	return Box(Durations(r.RepairLatencies))
+}
+
+// TotalDegraded sums degraded time across LRAs.
+func (r *RecoveryStats) TotalDegraded() time.Duration {
+	var sum time.Duration
+	for _, d := range r.DegradedTime {
+		sum += d
+	}
+	return sum
+}
+
+// Table renders the counters as a two-column summary table.
+func (r *RecoveryStats) Table(title string) *Table {
+	t := NewTable(title, "metric", "value")
+	t.AddRow("node failures", r.NodeFailures)
+	t.AddRow("node recoveries", r.NodeRecoveries)
+	t.AddRow("node drains", r.NodeDrains)
+	t.AddRow("LRA containers evicted", r.Evictions)
+	t.AddRow("task containers evicted", r.TaskEvictions)
+	t.AddRow("containers repaired", r.RepairsPlaced)
+	t.AddRow("repair attempts failed", r.RepairAttemptsFailed)
+	t.AddRow("repairs abandoned", r.RepairsAbandoned)
+	t.AddRow("fallback placements", r.FallbackPlacements)
+	t.AddRow("repair MTTR", r.MTTR())
+	t.AddRow("repair max latency", r.MaxRepairLatency())
+	t.AddRow("total degraded time", r.TotalDegraded())
+	// Per-LRA degraded time, sorted for stable output.
+	apps := make([]string, 0, len(r.DegradedTime))
+	for app := range r.DegradedTime {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		t.AddRow("degraded: "+app, r.DegradedTime[app])
+	}
+	return t
+}

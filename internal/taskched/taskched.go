@@ -90,15 +90,28 @@ type Scheduler struct {
 	queues  map[string]*queue
 	order   []string
 	seq     int
+	// owners maps live task containers to their queue accounting, so
+	// evictions (node failures) can refund the right queue. LRA containers
+	// committed via Commit are not charged to queues and are absent here.
+	owners map[cluster.ContainerID]taskOwner
 
 	// Latencies accumulates task allocation latencies.
 	Latencies []time.Duration
 }
 
+type taskOwner struct {
+	queue  string
+	demand resource.Vector
+}
+
 // New creates a scheduler over the cluster with the given queues. With no
 // queues, a single "default" queue with full capacity is created.
 func New(c *cluster.Cluster, cfgs ...QueueConfig) *Scheduler {
-	s := &Scheduler{cluster: c, queues: make(map[string]*queue)}
+	s := &Scheduler{
+		cluster: c,
+		queues:  make(map[string]*queue),
+		owners:  make(map[cluster.ContainerID]taskOwner),
+	}
 	if len(cfgs) == 0 {
 		cfgs = []QueueConfig{{Name: "default", Capacity: 1}}
 	}
@@ -202,6 +215,7 @@ func (s *Scheduler) NodeHeartbeat(node cluster.NodeID, now time.Time) []Allocati
 			return allocs
 		}
 		best.used = best.used.Add(task.demand)
+		s.owners[id] = taskOwner{queue: task.queue, demand: task.demand}
 		lat := now.Sub(task.submit)
 		s.Latencies = append(s.Latencies, lat)
 		allocs = append(allocs, Allocation{
@@ -253,7 +267,29 @@ func (s *Scheduler) ReleaseTask(id cluster.ContainerID, queueName string, demand
 	if q, ok := s.queues[queueName]; ok {
 		q.used = q.used.Sub(demand)
 	}
+	delete(s.owners, id)
 	return nil
+}
+
+// HandleEvictions refunds queue accounting for task containers the
+// cluster evicted (node failure). Without this, a failed node's task
+// containers would stay charged to their queues forever, silently
+// shrinking the queues' effective capacity. Evictions of containers the
+// task scheduler does not own are ignored.
+func (s *Scheduler) HandleEvictions(evs []cluster.Eviction) int {
+	n := 0
+	for _, ev := range evs {
+		o, ok := s.owners[ev.Container]
+		if !ok {
+			continue
+		}
+		if q, qok := s.queues[o.queue]; qok {
+			q.used = q.used.Sub(o.demand)
+		}
+		delete(s.owners, ev.Container)
+		n++
+	}
+	return n
 }
 
 // QueueUsed returns the resources charged to a queue.

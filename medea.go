@@ -34,6 +34,7 @@ import (
 	"medea/internal/constraint"
 	"medea/internal/core"
 	"medea/internal/lra"
+	"medea/internal/metrics"
 	"medea/internal/resource"
 	"medea/internal/taskched"
 )
@@ -70,6 +71,12 @@ type (
 	Medea = core.Medea
 	// Config parameterises a Medea instance.
 	Config = core.Config
+	// Eviction records one container displaced by a node failure or drain.
+	Eviction = cluster.Eviction
+	// NodeState is a node's availability state (up, draining, down).
+	NodeState = cluster.NodeState
+	// RecoveryStats aggregates failure-recovery counters (Medea.Recovery).
+	RecoveryStats = metrics.RecoveryStats
 	// TaskRequest asks for short-running task containers.
 	TaskRequest = taskched.TaskRequest
 	// QueueConfig declares a capacity-scheduler queue.
@@ -83,6 +90,13 @@ const (
 	UpgradeDomain = constraint.UpgradeDomain
 	FaultDomain   = constraint.FaultDomain
 	ServiceUnit   = constraint.ServiceUnit
+)
+
+// Node availability states.
+const (
+	NodeUp       = cluster.NodeUp
+	NodeDraining = cluster.NodeDraining
+	NodeDown     = cluster.NodeDown
 )
 
 // Resource builds a resource vector of memory (MB) and virtual cores.
