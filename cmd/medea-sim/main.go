@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	medea-sim [-seed N] [-scale F] [-budget D] <experiment>...
+//	medea-sim [-seed N] [-scale F] [-budget D] [-audit MODE] <experiment>...
 //	medea-sim all
 //
 // Experiments: fig1 fig2a fig2b fig2c fig2d fig3 table1 fig7 fig8
-// fig8live fig9a fig9b fig9c fig9d fig10 fig11a fig11b fig11c
+// fig8live fig9a fig9b fig9c fig9d fig10 fig11a fig11b fig11c hardening
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"medea/internal/audit"
 	"medea/internal/experiments"
 	"medea/internal/metrics"
 )
@@ -25,33 +26,40 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	scale := flag.Float64("scale", 0.25, "scale factor (1.0 = paper dimensions)")
 	budget := flag.Duration("budget", 500*time.Millisecond, "ILP solver budget per cycle")
+	auditMode := flag.String("audit", "off", "cluster-invariant auditor: off, metrics or fail-fast")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
-	o := experiments.Options{Seed: *seed, Scale: *scale, SolverBudget: *budget}
+	mode, err := audit.ParseMode(*auditMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medea-sim: %v\n", err)
+		os.Exit(2)
+	}
+	o := experiments.Options{Seed: *seed, Scale: *scale, SolverBudget: *budget, Audit: mode}
 
 	runners := map[string]func(experiments.Options) []*metrics.Table{
-		"fig1":     single(experiments.RunFig1),
-		"fig2a":    single(experiments.RunFig2a),
-		"fig2b":    single(experiments.RunFig2b),
-		"fig2c":    single(experiments.RunFig2c),
-		"fig2d":    single(experiments.RunFig2d),
-		"fig3":     single(experiments.RunFig3),
-		"table1":   single(experiments.RunTable1),
-		"fig7":     func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
-		"fig8":     single(experiments.RunFig8),
-		"fig8live": single(experiments.RunFig8Live),
-		"fig9a":    single(experiments.RunFig9a),
-		"fig9b":    single(experiments.RunFig9b),
-		"fig9c":    single(experiments.RunFig9c),
-		"fig9d":    single(experiments.RunFig9d),
-		"fig10":    func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
-		"fig11a":   single(experiments.RunFig11a),
-		"fig11b":   single(experiments.RunFig11b),
-		"fig11c":   single(experiments.RunFig11c),
+		"fig1":      single(experiments.RunFig1),
+		"fig2a":     single(experiments.RunFig2a),
+		"fig2b":     single(experiments.RunFig2b),
+		"fig2c":     single(experiments.RunFig2c),
+		"fig2d":     single(experiments.RunFig2d),
+		"fig3":      single(experiments.RunFig3),
+		"table1":    single(experiments.RunTable1),
+		"fig7":      func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
+		"fig8":      single(experiments.RunFig8),
+		"fig8live":  single(experiments.RunFig8Live),
+		"fig9a":     single(experiments.RunFig9a),
+		"fig9b":     single(experiments.RunFig9b),
+		"fig9c":     single(experiments.RunFig9c),
+		"fig9d":     single(experiments.RunFig9d),
+		"fig10":     func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
+		"fig11a":    single(experiments.RunFig11a),
+		"fig11b":    single(experiments.RunFig11b),
+		"fig11c":    single(experiments.RunFig11c),
+		"hardening": single(experiments.RunHardening),
 	}
 
 	names := flag.Args()
@@ -84,7 +92,7 @@ func single(f func(experiments.Options) *metrics.Table) func(experiments.Options
 func usage() {
 	fmt.Fprintf(os.Stderr, `medea-sim regenerates the Medea paper's tables and figures.
 
-usage: medea-sim [-seed N] [-scale F] [-budget D] <experiment>...
+usage: medea-sim [-seed N] [-scale F] [-budget D] [-audit MODE] <experiment>...
 
 experiments:
   fig1    machines used for LRAs across clusters
@@ -105,6 +113,7 @@ experiments:
   fig11a  LRA scheduling latency vs cluster size
   fig11b  two-scheduler benefit (MEDEA vs ILP-ALL)
   fig11c  task scheduling latency under Google-trace replay
+  hardening pipeline defenses under a byzantine algorithm (breaker on/off)
   all     everything above
 
 flags:

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"fmt"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/lra"
+)
+
+// Fault is one way a byzantine algorithm can misbehave.
+type Fault int
+
+const (
+	// FaultPanic panics inside Place.
+	FaultPanic Fault = iota
+	// FaultOverCapacity piles every container of the batch onto one node,
+	// ignoring its capacity.
+	FaultOverCapacity
+	// FaultDuplicateID assigns the same container ID twice.
+	FaultDuplicateID
+	// FaultWrongShape returns fewer placements than apps in the batch.
+	FaultWrongShape
+	// FaultDownNode targets a node that is not up (falls back to
+	// FaultOverCapacity when every node is up).
+	FaultDownNode
+	// FaultExhausted reports solver-budget exhaustion with no incumbent:
+	// placements are returned but flagged as pure fallback output.
+	FaultExhausted
+	numFaults
+)
+
+// String names the fault for test diagnostics.
+func (f Fault) String() string {
+	switch f {
+	case FaultPanic:
+		return "panic"
+	case FaultOverCapacity:
+		return "over-capacity"
+	case FaultDuplicateID:
+		return "duplicate-id"
+	case FaultWrongShape:
+		return "wrong-shape"
+	case FaultDownNode:
+		return "down-node"
+	case FaultExhausted:
+		return "exhausted"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Byzantine wraps an LRA algorithm in fault-injecting middleware: every
+// Nth call misbehaves (deterministically cycling through Faults, or a
+// fixed subset), the rest delegate to the wrapped algorithm. It drives
+// the hardened pipeline's defenses in tests: panic isolation, commit-time
+// validation and the degradation-ladder circuit breaker.
+type Byzantine struct {
+	// Inner is the wrapped (honest) algorithm.
+	Inner lra.Algorithm
+	// Every injects a fault on call numbers that are multiples of it
+	// (1 = every call, 3 = every third call). Zero disables injection.
+	Every int
+	// Faults cycles through these fault kinds; empty uses all of them.
+	Faults []Fault
+	// Calls counts Place invocations; Injected counts faults injected.
+	Calls    int
+	Injected int
+}
+
+// Name implements lra.Algorithm.
+func (b *Byzantine) Name() string { return "Byzantine(" + b.Inner.Name() + ")" }
+
+// Place implements lra.Algorithm.
+func (b *Byzantine) Place(state *cluster.Cluster, apps []*lra.Application, active []constraint.Entry, opts lra.Options) *lra.Result {
+	b.Calls++
+	if b.Every <= 0 || b.Calls%b.Every != 0 || len(apps) == 0 {
+		return b.Inner.Place(state, apps, active, opts)
+	}
+	faults := b.Faults
+	if len(faults) == 0 {
+		faults = make([]Fault, numFaults)
+		for i := range faults {
+			faults[i] = Fault(i)
+		}
+	}
+	f := faults[b.Injected%len(faults)]
+	b.Injected++
+	switch f {
+	case FaultPanic:
+		panic(fmt.Sprintf("chaos: injected panic on call %d", b.Calls))
+	case FaultOverCapacity:
+		return b.pileOn(state, apps, b.anyNode(state, true))
+	case FaultDuplicateID:
+		res := b.pileOn(state, apps, b.anyNode(state, true))
+		for _, p := range res.Placements {
+			if len(p.Assignments) >= 2 {
+				p.Assignments[1].Container = p.Assignments[0].Container
+				break
+			}
+		}
+		return res
+	case FaultWrongShape:
+		res := b.Inner.Place(state, apps, active, opts)
+		if len(res.Placements) > 0 {
+			res.Placements = res.Placements[:len(res.Placements)-1]
+		}
+		return res
+	case FaultDownNode:
+		if node, ok := b.downNode(state); ok {
+			return b.pileOn(state, apps, node)
+		}
+		return b.pileOn(state, apps, b.anyNode(state, true))
+	case FaultExhausted:
+		res := b.Inner.Place(state, apps, active, opts)
+		res.DeadlineHit = true
+		res.Exhausted = true
+		return res
+	default:
+		return b.Inner.Place(state, apps, active, opts)
+	}
+}
+
+// pileOn proposes every container of every app on the single given node,
+// ignoring capacity and constraints — the classic corrupt-solver output.
+func (b *Byzantine) pileOn(state *cluster.Cluster, apps []*lra.Application, node cluster.NodeID) *lra.Result {
+	res := &lra.Result{}
+	for _, app := range apps {
+		p := lra.Placement{AppID: app.ID, Placed: true}
+		i := 0
+		for _, g := range app.Groups {
+			for k := 0; k < g.Count; k++ {
+				p.Assignments = append(p.Assignments, lra.Assignment{
+					Container: cluster.MakeContainerID(app.ID, i),
+					Group:     g.Name,
+					Node:      node,
+					Demand:    g.Demand,
+					Tags:      app.EffectiveTags(g),
+				})
+				i++
+			}
+		}
+		res.Placements = append(res.Placements, p)
+	}
+	return res
+}
+
+// anyNode returns the first node in the wanted state (up when up is
+// true), or node 0.
+func (b *Byzantine) anyNode(state *cluster.Cluster, up bool) cluster.NodeID {
+	for _, n := range state.Nodes() {
+		if (n.State() == cluster.NodeUp) == up {
+			return n.ID
+		}
+	}
+	return 0
+}
+
+// downNode returns a node that is not up, if any.
+func (b *Byzantine) downNode(state *cluster.Cluster) (cluster.NodeID, bool) {
+	for _, n := range state.Nodes() {
+		if n.State() != cluster.NodeUp {
+			return n.ID, true
+		}
+	}
+	return 0, false
+}

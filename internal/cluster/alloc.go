@@ -195,3 +195,41 @@ func (c *Cluster) ContainerIDs() []ContainerID {
 func (c *Cluster) ContainerDemand(id ContainerID) resource.Vector {
 	return c.containers[id].demand
 }
+
+// CheckAccounting verifies the cluster's internal bookkeeping invariants:
+// every container references a known node and appears in that node's
+// resident set (and vice versa), per-node used resources equal the sum of
+// resident container demands, and no node's usage is negative or above
+// capacity. It returns the first violation found, or nil. The audit layer
+// runs it post-commit to catch state corruption before it spreads.
+func (c *Cluster) CheckAccounting() error {
+	perNode := make([]resource.Vector, len(c.nodes))
+	for id, info := range c.containers {
+		if int(info.node) < 0 || int(info.node) >= len(c.nodes) {
+			return fmt.Errorf("cluster: container %s on unknown node %d", id, info.node)
+		}
+		if _, ok := c.nodes[info.node].containers[id]; !ok {
+			return fmt.Errorf("cluster: container %s missing from node %s resident set", id, c.nodes[info.node].Name)
+		}
+		perNode[info.node] = perNode[info.node].Add(info.demand)
+	}
+	for _, n := range c.nodes {
+		for id := range n.containers {
+			if _, ok := c.containers[id]; !ok {
+				return fmt.Errorf("cluster: node %s lists unknown container %s", n.Name, id)
+			}
+		}
+		if !n.used.IsNonNegative() {
+			return fmt.Errorf("cluster: node %s has negative usage %v", n.Name, n.used)
+		}
+		if n.used != perNode[n.ID] {
+			return fmt.Errorf("cluster: node %s usage %v != sum of container demands %v",
+				n.Name, n.used, perNode[n.ID])
+		}
+		if !n.used.Fits(n.Capacity) {
+			return fmt.Errorf("cluster: node %s overcommitted: used %v > capacity %v",
+				n.Name, n.used, n.Capacity)
+		}
+	}
+	return nil
+}

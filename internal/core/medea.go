@@ -9,8 +9,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime/debug"
 	"time"
 
+	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
 	"medea/internal/lra"
@@ -55,6 +58,32 @@ type Config struct {
 	// graceful degradation when the ILP repeatedly times out or conflicts
 	// (zero = 2, negative = never fall back).
 	RepairFallbackAfter int
+
+	// SolverBudget bounds the LRA solver's wall-clock time per cycle
+	// end-to-end: it is copied into Options.SolverBudget (when that is
+	// unset) and flows through the algorithm into ilp.Options.Deadline,
+	// which the simplex pivot loops and branch-and-bound both honor. Zero
+	// leaves the algorithm's own default (2s for the ILP).
+	SolverBudget time.Duration
+	// Audit selects the post-commit whole-cluster invariant check mode:
+	// audit.Off (default), audit.Metrics (count violations) or
+	// audit.FailFast (panic on the first violation — tests, CI, sim).
+	// Commit-time placement validation is always on regardless of mode.
+	Audit audit.Mode
+	// HardWeight is the constraint weight at or above which commit-time
+	// validation treats a constraint as hard and vetoes placements
+	// violating it (0 = audit.DefaultHardWeight, negative = no
+	// hard-constraint validation).
+	HardWeight float64
+	// BreakerThreshold is the number of consecutive failed cycles (panic,
+	// solver exhaustion, invalid model, validation rejection) that trips
+	// the circuit breaker onto the degradation ladder (0 = 3, negative =
+	// breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is the number of cycles the breaker stays open on a
+	// degraded ladder level before half-open probing the configured
+	// algorithm again (0 = 2).
+	BreakerCooldown int
 }
 
 // maxRetries resolves the MaxRetries sentinel: 0 → default 3, negative →
@@ -102,6 +131,32 @@ func (c Config) repairFallbackAfter() int {
 		return -1
 	}
 	return c.RepairFallbackAfter
+}
+
+// hardWeight resolves the HardWeight sentinel; negative disables
+// hard-constraint validation (no finite weight qualifies as hard).
+func (c Config) hardWeight() float64 {
+	if c.HardWeight == 0 {
+		return audit.DefaultHardWeight
+	}
+	if c.HardWeight < 0 {
+		return math.Inf(1)
+	}
+	return c.HardWeight
+}
+
+func (c Config) breakerThreshold() int {
+	if c.BreakerThreshold == 0 {
+		return 3
+	}
+	return c.BreakerThreshold
+}
+
+func (c Config) breakerCooldown() int {
+	if c.BreakerCooldown <= 0 {
+		return 2
+	}
+	return c.BreakerCooldown
 }
 
 type pendingApp struct {
@@ -152,6 +207,17 @@ type Medea struct {
 	// MTTR, degraded time per LRA).
 	Recovery metrics.RecoveryStats
 
+	// Pipeline aggregates the defense-in-depth counters: recovered
+	// panics, validation rejects, deadline hits, invariant violations and
+	// circuit-breaker activity.
+	Pipeline metrics.PipelineStats
+
+	// brk is the degradation-ladder circuit breaker (nil when disabled).
+	brk *breaker
+	// cycles counts completed scheduling cycles (for breaker events and
+	// fail-fast diagnostics).
+	cycles int
+
 	// LRALatencies records submission-to-commit latency per placed LRA.
 	LRALatencies []time.Duration
 	// Rejected lists LRAs dropped after exhausting conflict retries or
@@ -167,7 +233,10 @@ func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.Q
 	if cfg.Interval == 0 {
 		cfg.Interval = 10 * time.Second
 	}
-	return &Medea{
+	if cfg.Options.SolverBudget == 0 {
+		cfg.Options.SolverBudget = cfg.SolverBudget
+	}
+	m := &Medea{
 		Cluster:     c,
 		Constraints: constraint.NewManager(),
 		Tasks:       taskched.New(c, queues...),
@@ -177,6 +246,10 @@ func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.Q
 		owner:       make(map[cluster.ContainerID]string),
 		repairs:     make(map[string]*repairReq),
 	}
+	if cfg.BreakerThreshold >= 0 {
+		m.brk = newBreaker(alg, cfg.breakerThreshold(), cfg.breakerCooldown(), &m.Pipeline)
+	}
+	return m
 }
 
 // Algorithm returns the configured LRA placement algorithm.
@@ -225,6 +298,9 @@ func (m *Medea) SubmitTasks(appID, queue string, now time.Time, reqs ...taskched
 // PendingLRAs returns the number of LRAs awaiting a scheduling cycle.
 func (m *Medea) PendingLRAs() int { return len(m.pending) }
 
+// DeployedLRAs returns the number of currently deployed LRAs.
+func (m *Medea) DeployedLRAs() int { return len(m.deployed) }
+
 // Deployed reports whether an LRA is deployed, and its live containers
 // (in placement order; fewer than the declared count while degraded).
 func (m *Medea) Deployed(appID string) ([]cluster.ContainerID, bool) {
@@ -246,6 +322,17 @@ type CycleStats struct {
 	// cycle; RepairFailures counts repair batches that failed.
 	Repaired       int
 	RepairFailures int
+	// ValidationRejects counts placements vetoed by commit-time
+	// validation this cycle; PanicRecovered reports that the algorithm
+	// panicked (the batch was requeued without consuming retries);
+	// DeadlineHit reports the solver stopped on its time budget.
+	ValidationRejects int
+	PanicRecovered    bool
+	DeadlineHit       bool
+	// Algorithm is the name of the algorithm that served the cycle and
+	// Level its degradation-ladder level (0 = the configured algorithm).
+	Algorithm string
+	Level     int
 }
 
 // Tick runs a scheduling cycle if the interval has elapsed. The simulator
@@ -285,14 +372,49 @@ func (m *Medea) activeExcluding(exclude map[string]bool) []constraint.Entry {
 	return active
 }
 
+// safePlace invokes an LRA algorithm with panic isolation: a panicking
+// algorithm yields a nil result — callers treat it as a failed cycle —
+// with the panic value and stack captured in the pipeline metrics.
+func (m *Medea) safePlace(alg lra.Algorithm, apps []*lra.Application, active []constraint.Entry) (res *lra.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.Pipeline.PanicsRecovered++
+			m.Pipeline.LastPanic = fmt.Sprintf("%s: %v\n%s", alg.Name(), r, debug.Stack())
+			res = nil
+		}
+	}()
+	return alg.Place(m.Cluster, apps, active, m.cfg.Options)
+}
+
+// appEntries wraps an application's own constraints as entries, for
+// commit-time validation (the active set excludes batch apps).
+func appEntries(app *lra.Application) []constraint.Entry {
+	out := make([]constraint.Entry, 0, len(app.Constraints))
+	for _, c := range app.Constraints {
+		out = append(out, constraint.Entry{
+			AppID: app.ID, Source: constraint.SourceApplication, Constraint: c,
+		})
+	}
+	return out
+}
+
 // RunCycle invokes the LRA scheduler on the current batch and commits the
 // resulting placements through the task-based scheduler (Figure 4 steps
 // 1–3). Placements that conflict with the evolved cluster state are
 // resubmitted for the next cycle (§5.4). Pending repairs of degraded
 // LRAs run first, so restored containers are visible to the batch's
 // constraint evaluation.
+//
+// The cycle runs inside the hardening pipeline: the algorithm is chosen
+// by the circuit breaker (possibly a degradation-ladder heuristic),
+// invoked with panic isolation, and every proposed placement is validated
+// against the live state before commit. A panic requeues the whole batch
+// without consuming retry budget; validation rejects consume a retry like
+// placement conflicts do. Post-commit, the whole-cluster invariant
+// checker runs in the configured audit mode.
 func (m *Medea) RunCycle(now time.Time) CycleStats {
 	stats := CycleStats{}
+	m.cycles++
 	m.runRepairs(now, &stats)
 
 	batch := m.pending
@@ -305,6 +427,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	}
 	stats.Batch = len(batch)
 	if len(batch) == 0 {
+		m.auditCycle()
 		return stats
 	}
 	// The batch's own constraints travel with the apps; Active() holds
@@ -313,42 +436,162 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	// batch apps from the active set to avoid double counting.
 	active := m.activeExcluding(inBatch)
 
-	res := m.alg.Place(m.Cluster, apps, active, m.cfg.Options)
-	stats.AlgLatency = res.Latency
-	for i, p := range res.Placements {
-		pa := batch[i]
-		if !p.Placed {
-			// Unplaceable this cycle: retry within budget (resources may
-			// free up), then reject.
-			m.requeueOrReject(pa, &stats)
-			continue
+	alg, level := m.alg, 0
+	if m.brk != nil {
+		alg, level = m.brk.algorithm(m.cycles)
+	}
+	stats.Algorithm = alg.Name()
+	stats.Level = level
+	if level > 0 {
+		m.Pipeline.DegradedCycles++
+	}
+
+	failed, reason := false, ""
+	res := m.safePlace(alg, apps, active)
+	switch {
+	case res == nil:
+		// Panic: not the batch's fault — requeue it whole, retries
+		// untouched; the breaker (not the retry budget) handles a
+		// persistently panicking algorithm.
+		failed, reason = true, "panic"
+		stats.PanicRecovered = true
+		m.pending = append(m.pending, batch...)
+		stats.Requeued += len(batch)
+	case len(res.Placements) != len(batch):
+		// Malformed result shape; indexing it would corrupt accounting.
+		failed, reason = true, "validation"
+		m.Pipeline.ValidationRejects++
+		m.Pipeline.LastReject = fmt.Sprintf("%s returned %d placements for a batch of %d",
+			alg.Name(), len(res.Placements), len(batch))
+		stats.ValidationRejects++
+		m.pending = append(m.pending, batch...)
+		stats.Requeued += len(batch)
+	default:
+		stats.AlgLatency = res.Latency
+		stats.DeadlineHit = res.DeadlineHit
+		if res.DeadlineHit {
+			m.Pipeline.DeadlineHits++
 		}
-		commit := make([]taskched.CommitAssignment, len(p.Assignments))
-		for j, a := range p.Assignments {
-			commit[j] = taskched.CommitAssignment{
-				Container: a.Container, Node: a.Node, Demand: a.Demand, Tags: a.Tags,
+		if res.Exhausted {
+			m.Pipeline.SolverExhaustions++
+			failed, reason = true, "exhausted"
+		}
+		if res.Invalid {
+			m.Pipeline.InvalidModels++
+			failed, reason = true, "invalid-model"
+		}
+		// entries accumulates the constraints visible to validation:
+		// active (deployed + operator) plus batch apps as they commit.
+		entries := active
+		for i, p := range res.Placements {
+			pa := batch[i]
+			if !p.Placed {
+				// Unplaceable this cycle: retry within budget (resources
+				// may free up), then reject.
+				m.requeueOrReject(pa, &stats)
+				continue
+			}
+			own := appEntries(pa.app)
+			all := append(append(make([]constraint.Entry, 0, len(entries)+len(own)), entries...), own...)
+			if err := audit.CheckPlacement(m.Cluster, pa.app, &p, all, m.cfg.hardWeight()); err != nil {
+				// The algorithm proposed an inadmissible placement:
+				// reject it before it corrupts cluster state.
+				failed, reason = true, "validation"
+				m.Pipeline.ValidationRejects++
+				m.Pipeline.LastReject = err.Error()
+				stats.ValidationRejects++
+				m.requeueOrReject(pa, &stats)
+				continue
+			}
+			commit := make([]taskched.CommitAssignment, len(p.Assignments))
+			for j, a := range p.Assignments {
+				commit[j] = taskched.CommitAssignment{
+					Container: a.Container, Node: a.Node, Demand: a.Demand, Tags: a.Tags,
+				}
+			}
+			if err := m.Tasks.Commit(commit); err != nil {
+				// Conflict with task allocations made since the decision:
+				// resubmit the LRA (§5.4).
+				m.requeueOrReject(pa, &stats)
+				continue
+			}
+			dep := &deployment{
+				app:        pa.app,
+				containers: make(map[cluster.ContainerID]containerSpec, len(p.Assignments)),
+			}
+			for _, a := range p.Assignments {
+				dep.containers[a.Container] = containerSpec{group: a.Group, demand: a.Demand, tags: a.Tags}
+				dep.order = append(dep.order, a.Container)
+				m.owner[a.Container] = p.AppID
+			}
+			m.deployed[p.AppID] = dep
+			m.LRALatencies = append(m.LRALatencies, now.Sub(pa.submit)+res.Latency)
+			stats.Placed++
+			entries = append(entries, own...)
+		}
+	}
+	if m.brk != nil {
+		m.brk.report(m.cycles, failed, reason)
+	}
+	m.auditCycle()
+	return stats
+}
+
+// auditCycle runs the post-commit whole-cluster invariant checker in the
+// configured audit mode.
+func (m *Medea) auditCycle() {
+	if m.cfg.Audit == audit.Off {
+		return
+	}
+	if err := m.CheckInvariants(); err != nil {
+		m.Pipeline.InvariantViolations++
+		m.Pipeline.LastViolation = err.Error()
+		if m.cfg.Audit == audit.FailFast {
+			panic(fmt.Sprintf("medea: invariant violation after cycle %d: %v", m.cycles, err))
+		}
+	}
+}
+
+// CheckInvariants verifies whole-cluster invariants: cluster bookkeeping
+// self-consistency and per-node capacity (cluster.CheckAccounting),
+// non-negative task-queue accounting, constraint registry ⊆ known
+// applications (deployed or pending), and owner-map ↔ deployment
+// consistency. It returns the first violation found, or nil.
+func (m *Medea) CheckInvariants() error {
+	known := func(appID string) bool {
+		if _, ok := m.deployed[appID]; ok {
+			return true
+		}
+		for _, p := range m.pending {
+			if p.app.ID == appID {
+				return true
 			}
 		}
-		if err := m.Tasks.Commit(commit); err != nil {
-			// Conflict with task allocations made since the decision:
-			// resubmit the LRA (§5.4).
-			m.requeueOrReject(pa, &stats)
-			continue
-		}
-		dep := &deployment{
-			app:        pa.app,
-			containers: make(map[cluster.ContainerID]containerSpec, len(p.Assignments)),
-		}
-		for _, a := range p.Assignments {
-			dep.containers[a.Container] = containerSpec{group: a.Group, demand: a.Demand, tags: a.Tags}
-			dep.order = append(dep.order, a.Container)
-			m.owner[a.Container] = p.AppID
-		}
-		m.deployed[p.AppID] = dep
-		m.LRALatencies = append(m.LRALatencies, now.Sub(pa.submit)+res.Latency)
-		stats.Placed++
+		return false
 	}
-	return stats
+	if err := audit.CheckCluster(m.Cluster, m.Tasks, m.Constraints.Apps(), known); err != nil {
+		return err
+	}
+	for id, appID := range m.owner {
+		if _, ok := m.Cluster.ContainerNode(id); !ok {
+			return fmt.Errorf("core: owner map references unallocated container %s (app %s)", id, appID)
+		}
+		dep := m.deployed[appID]
+		if dep == nil {
+			return fmt.Errorf("core: owner map references undeployed app %s (container %s)", appID, id)
+		}
+		if _, ok := dep.containers[id]; !ok {
+			return fmt.Errorf("core: container %s owned by %s but missing from its deployment", id, appID)
+		}
+	}
+	for appID, dep := range m.deployed {
+		for id := range dep.containers {
+			if m.owner[id] != appID {
+				return fmt.Errorf("core: deployed container %s of %s not in owner map", id, appID)
+			}
+		}
+	}
+	return nil
 }
 
 func (m *Medea) requeueOrReject(pa *pendingApp, stats *CycleStats) {

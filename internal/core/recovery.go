@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/lra"
 	"medea/internal/taskched"
@@ -251,30 +252,58 @@ func (m *Medea) attemptRepair(r *repairReq, dep *deployment, now time.Time, stat
 		usedFallback = true
 	}
 
-	res := alg.Place(m.Cluster, []*lra.Application{synth}, m.activeExcluding(map[string]bool{r.appID: true}), m.cfg.Options)
-	p := res.Placements[0]
-	restored := p.Placed
+	res := m.safePlace(alg, []*lra.Application{synth}, m.activeExcluding(map[string]bool{r.appID: true}))
+	restored := res != nil && len(res.Placements) == 1 && res.Placements[0].Placed
 	var commit []taskched.CommitAssignment
 	var restoredPieces []repairPiece
 	if restored {
+		p := res.Placements[0]
 		// Remap the synthetic assignments back to the original container
-		// IDs and tags, group by group.
+		// IDs and tags, group by group. A malformed result (unknown
+		// group, wrong per-group count) fails the attempt instead of
+		// panicking on the remap indexing.
 		next := make(map[string]int, len(groups))
 		gIdx := make(map[string]int, len(groups))
 		for i, g := range groups {
 			gIdx[g.Name] = i
 		}
+		var remapped []lra.Assignment
 		for _, a := range p.Assignments {
-			pieces := pieceOrder[gIdx[a.Group]]
+			gi, ok := gIdx[a.Group]
+			if !ok || next[a.Group] >= len(pieceOrder[gi]) {
+				restored = false
+				break
+			}
+			pieces := pieceOrder[gi]
 			piece := pieces[next[a.Group]]
 			next[a.Group]++
 			commit = append(commit, taskched.CommitAssignment{
 				Container: piece.id, Node: a.Node, Demand: piece.spec.demand, Tags: piece.spec.tags,
 			})
+			remapped = append(remapped, lra.Assignment{
+				Container: piece.id, Group: piece.spec.group, Node: a.Node,
+				Demand: piece.spec.demand, Tags: piece.spec.tags,
+			})
 			restoredPieces = append(restoredPieces, piece)
 		}
-		if err := m.Tasks.Commit(commit); err != nil {
-			restored = false // lost a race; retry with backoff
+		if restored && len(remapped) != len(r.lost) {
+			restored = false // partial batch: repairs are all-or-nothing
+		}
+		if restored {
+			// Commit-time validation on the batch actually committed (the
+			// remapped one): capacity, health, duplicates and hard
+			// constraints, exactly like initial placements.
+			if err := audit.CheckAssignments(m.Cluster, r.appID, remapped, m.Constraints.Active(), m.cfg.hardWeight()); err != nil {
+				m.Pipeline.ValidationRejects++
+				m.Pipeline.LastReject = err.Error()
+				stats.ValidationRejects++
+				restored = false
+			}
+		}
+		if restored {
+			if err := m.Tasks.Commit(commit); err != nil {
+				restored = false // lost a race; retry with backoff
+			}
 		}
 	}
 

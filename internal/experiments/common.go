@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/core"
 	"medea/internal/lra"
@@ -33,6 +34,11 @@ type Options struct {
 	Scale float64
 	// SolverBudget bounds each ILP solve (default 500ms).
 	SolverBudget time.Duration
+	// Audit selects the post-commit cluster-invariant checker mode for
+	// every Medea instance the experiments build (default off; CI runs
+	// the suite with fail-fast so a scheduler bug aborts the experiment
+	// at the first corrupted cycle instead of skewing the tables).
+	Audit audit.Mode
 }
 
 func (o Options) withDefaults() Options {
@@ -85,8 +91,8 @@ func performanceAlgorithms() []lra.Algorithm {
 // deployInBatches submits apps to a fresh Medea instance over the cluster
 // and runs scheduling cycles with `perCycle` LRAs considered per cycle
 // (the paper's periodicity), returning the Medea instance.
-func deployInBatches(c *cluster.Cluster, alg lra.Algorithm, apps []*lra.Application, perCycle int, opts lra.Options) *core.Medea {
-	m := core.New(c, alg, core.Config{Options: opts, MaxRetries: 1})
+func deployInBatches(c *cluster.Cluster, alg lra.Algorithm, apps []*lra.Application, perCycle int, o Options) *core.Medea {
+	m := core.New(c, alg, core.Config{Options: o.lraOptions(), MaxRetries: 1, Audit: o.Audit})
 	now := sim.Epoch
 	for i := 0; i < len(apps); i += perCycle {
 		end := i + perCycle

@@ -29,8 +29,12 @@ type bbNode struct {
 }
 
 // Solve optimises the model. Continuous models solve with one simplex
-// call; integer models run branch-and-bound on the LP relaxation.
+// call; integer models run branch-and-bound on the LP relaxation. A model
+// that fails Check returns Invalid without solving.
 func (m *Model) Solve(opts Options) *Solution {
+	if err := m.Check(); err != nil {
+		return &Solution{Status: Invalid}
+	}
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 200000
@@ -53,7 +57,10 @@ func (m *Model) Solve(opts Options) *Solution {
 		}
 	}
 
-	root := solveLP(m, lo, hi)
+	root := solveLP(m, lo, hi, opts.Deadline)
+	if root.status == statusDeadline {
+		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
+	}
 	if root.status != Optimal {
 		return &Solution{Status: root.status, Nodes: 1}
 	}
@@ -91,7 +98,7 @@ func (m *Model) Solve(opts Options) *Solution {
 			wlo[j], whi[j] = val, val
 		}
 		if valid {
-			if res := solveLP(m, wlo, whi); res.status == Optimal && m.integral(res.x) {
+			if res := solveLP(m, wlo, whi, opts.Deadline); res.status == Optimal && m.integral(res.x) {
 				incumbent = res.obj
 				incumbentX = m.snap(res.x)
 			}
@@ -116,8 +123,12 @@ func (m *Model) Solve(opts Options) *Solution {
 		if incumbentX != nil && !better(nd.bound, incumbent) {
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi)
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
 		nodes++
+		if res.status == statusDeadline {
+			deadlineHit = true
+			break
+		}
 		if res.status != Optimal {
 			continue // infeasible (or numerically bad) subtree
 		}
@@ -168,11 +179,11 @@ func (m *Model) Solve(opts Options) *Solution {
 
 	switch {
 	case incumbentX == nil && deadlineHit:
-		return &Solution{Status: NoSolution, Nodes: nodes}
+		return &Solution{Status: NoSolution, Nodes: nodes, DeadlineHit: true}
 	case incumbentX == nil:
 		return &Solution{Status: Infeasible, Nodes: nodes}
 	case deadlineHit || len(stack) > 0:
-		return &Solution{Status: Feasible, Objective: incumbent, values: incumbentX, Nodes: nodes}
+		return &Solution{Status: Feasible, Objective: incumbent, values: incumbentX, Nodes: nodes, DeadlineHit: deadlineHit}
 	default:
 		return &Solution{Status: Optimal, Objective: incumbent, values: incumbentX, Nodes: nodes}
 	}
@@ -226,6 +237,9 @@ func (m *Model) CheckFeasible(x []float64) bool {
 	for _, c := range m.cons {
 		s := 0.0
 		for _, t := range c.terms {
+			if int(t.Var) < 0 || int(t.Var) >= len(x) {
+				return false // malformed model (see Model.Check)
+			}
 			s += t.Coeff * x[t.Var]
 		}
 		if s < c.lo-tolFeas || s > c.hi+tolFeas {

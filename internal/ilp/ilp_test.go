@@ -3,6 +3,7 @@ package ilp
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -428,20 +429,68 @@ func TestRandomLPsSanity(t *testing.T) {
 	}
 }
 
-func TestVarPanics(t *testing.T) {
+func TestCheckRejectsMalformedModels(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(m *Model)
+	}{
+		{"var lo>hi", func(m *Model) { m.Float("bad", 5, 1) }},
+		{"var NaN bound", func(m *Model) { m.Float("bad", math.NaN(), 1) }},
+		{"con lo>hi", func(m *Model) {
+			v := m.Binary("x")
+			m.AddRange("bad", 3, 1, T(1, v))
+		}},
+		{"unknown variable", func(m *Model) {
+			m.Binary("x")
+			m.AddLE("bad", 1, T(1, Var(7)))
+		}},
+		{"non-finite coefficient", func(m *Model) {
+			v := m.Binary("x")
+			m.AddLE("bad", 1, T(math.Inf(1), v))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewModel(Maximize)
+			tc.build(m)
+			if err := m.Check(); err == nil {
+				t.Fatal("Check() = nil, want error")
+			}
+			if s := m.Solve(Options{}); s.Status != Invalid {
+				t.Fatalf("Solve status = %v, want Invalid", s.Status)
+			}
+		})
+	}
+}
+
+func TestCheckAccumulatesDefects(t *testing.T) {
+	m := NewModel(Minimize)
+	m.Float("a", 5, 1)
+	m.Float("b", 9, 2)
+	err := m.Check()
+	if err == nil {
+		t.Fatal("Check() = nil, want error")
+	}
+	if want := "and 1 more defect"; !strings.Contains(err.Error(), want) {
+		t.Errorf("Check() = %q, want mention of %q", err, want)
+	}
+}
+
+func TestCheckOKModel(t *testing.T) {
 	m := NewModel(Maximize)
-	defer func() {
-		if recover() == nil {
-			t.Error("lo>hi variable should panic")
-		}
-	}()
-	m.Float("bad", 5, 1)
+	v := m.Binary("x")
+	m.SetObjective(v, 1)
+	m.AddLE("c", 1, T(1, v))
+	if err := m.Check(); err != nil {
+		t.Fatalf("Check() = %v, want nil", err)
+	}
 }
 
 func TestStatusString(t *testing.T) {
 	for st, want := range map[Status]string{
 		Optimal: "optimal", Feasible: "feasible", Infeasible: "infeasible",
-		Unbounded: "unbounded", NoSolution: "no-solution", Status(99): "status(99)",
+		Unbounded: "unbounded", NoSolution: "no-solution", Invalid: "invalid",
+		Status(99): "status(99)",
 	} {
 		if got := st.String(); got != want {
 			t.Errorf("String(%d) = %q, want %q", int(st), got, want)

@@ -49,11 +49,16 @@ type conDef struct {
 	lo, hi float64 // lo <= terms <= hi; use ±Infinity
 }
 
-// Model is a mutable MIP model. Build it, then call Solve.
+// Model is a mutable MIP model. Build it, then call Solve. Malformed
+// additions (inverted bounds, unknown variables) do not panic: they are
+// recorded and surfaced by Check, and Solve returns Invalid — schedulers
+// building models from untrusted constraint sets degrade to a scheduling
+// failure instead of crashing.
 type Model struct {
 	sense Sense
 	vars  []varDef
 	cons  []conDef
+	errs  []error
 }
 
 // NewModel returns an empty model with the given objective sense.
@@ -76,7 +81,10 @@ func (m *Model) Float(name string, lo, hi float64) Var { return m.addVar(name, l
 
 func (m *Model) addVar(name string, lo, hi float64, integer bool) Var {
 	if lo > hi {
-		panic(fmt.Sprintf("ilp: variable %s has lo %v > hi %v", name, lo, hi))
+		m.errs = append(m.errs, fmt.Errorf("ilp: variable %s has lo %v > hi %v", name, lo, hi))
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		m.errs = append(m.errs, fmt.Errorf("ilp: variable %s has NaN bound [%v,%v]", name, lo, hi))
 	}
 	m.vars = append(m.vars, varDef{name: name, lo: lo, hi: hi, integer: integer})
 	return Var(len(m.vars) - 1)
@@ -110,14 +118,37 @@ func (m *Model) AddRange(name string, lo, hi float64, terms ...Term) {
 
 func (m *Model) addCon(name string, lo, hi float64, terms []Term) {
 	if lo > hi {
-		panic(fmt.Sprintf("ilp: constraint %s has lo %v > hi %v", name, lo, hi))
+		m.errs = append(m.errs, fmt.Errorf("ilp: constraint %s has lo %v > hi %v", name, lo, hi))
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		m.errs = append(m.errs, fmt.Errorf("ilp: constraint %s has NaN bound [%v,%v]", name, lo, hi))
 	}
 	for _, t := range terms {
 		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
-			panic(fmt.Sprintf("ilp: constraint %s references unknown variable %d", name, t.Var))
+			m.errs = append(m.errs, fmt.Errorf("ilp: constraint %s references unknown variable %d", name, t.Var))
+		}
+		if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) {
+			m.errs = append(m.errs, fmt.Errorf("ilp: constraint %s has non-finite coefficient %v", name, t.Coeff))
 		}
 	}
 	m.cons = append(m.cons, conDef{name: name, terms: append([]Term(nil), terms...), lo: lo, hi: hi})
+}
+
+// Check reports the defects accumulated while building the model: inverted
+// or NaN variable bounds, inverted constraint ranges, references to unknown
+// variables and non-finite coefficients. A model that fails Check solves to
+// Invalid; callers that build models from external input (the LRA ILP
+// builder) check first and fall back to a heuristic placement instead of
+// crashing.
+func (m *Model) Check() error {
+	switch len(m.errs) {
+	case 0:
+		return nil
+	case 1:
+		return m.errs[0]
+	default:
+		return fmt.Errorf("%w (and %d more defects)", m.errs[0], len(m.errs)-1)
+	}
 }
 
 // Status reports the outcome of a solve.
@@ -136,6 +167,9 @@ const (
 	Unbounded
 	// NoSolution: deadline or node limit hit before any incumbent.
 	NoSolution
+	// Invalid: the model failed Check (malformed bounds, unknown
+	// variables); nothing was solved.
+	Invalid
 )
 
 // String implements fmt.Stringer.
@@ -151,6 +185,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case NoSolution:
 		return "no-solution"
+	case Invalid:
+		return "invalid"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -163,6 +199,11 @@ type Solution struct {
 	values    []float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// DeadlineHit reports that the solve stopped on Options.Deadline (or
+	// the node limit): with an incumbent the Status is Feasible, without
+	// one it is NoSolution. Callers use it to count budget exhaustion
+	// separately from ordinary optimal/infeasible outcomes.
+	DeadlineHit bool
 }
 
 // Value returns the value of v, rounded to exact integrality for integer

@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"math"
+	"time"
 )
 
 // Numeric tolerances for the simplex.
@@ -12,9 +13,20 @@ const (
 	tolInt   = 1e-6 // integrality tolerance (branch-and-bound)
 )
 
+// statusDeadline is the internal LP outcome "stopped on the deadline":
+// never surfaced through the public API, branch-and-bound translates it
+// into DeadlineHit + the best incumbent (or NoSolution).
+const statusDeadline Status = -1
+
+// deadlineCheckEvery is the pivot granularity of deadline enforcement:
+// runSimplex consults the clock once per this many iterations, so a solve
+// can overrun its budget by at most one check window of pivots — the
+// "one pivot granularity" the scheduling-latency bound (§7.3) tolerates.
+const deadlineCheckEvery = 32
+
 // lpResult is the outcome of one LP relaxation solve.
 type lpResult struct {
-	status Status // Optimal, Infeasible or Unbounded
+	status Status // Optimal, Infeasible, Unbounded or statusDeadline
 	obj    float64
 	x      []float64 // values in original model-variable space
 }
@@ -29,8 +41,10 @@ type stdVar struct {
 
 // solveLP solves the LP relaxation of m with per-variable bound overrides
 // lo/hi (same length as m.vars) using a dense two-phase primal simplex.
-// Integrality is ignored.
-func solveLP(m *Model, lo, hi []float64) lpResult {
+// Integrality is ignored. A non-zero deadline is enforced inside both
+// phases' pivot loops (not only between branch-and-bound nodes), so a
+// degenerate LP cannot blow the budget before the search even starts.
+func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
 	n := len(m.vars)
 	for j := 0; j < n; j++ {
 		if lo[j] > hi[j]+tolFeas {
@@ -222,10 +236,13 @@ func solveLP(m *Model, lo, hi []float64) lpResult {
 				}
 			}
 		}
-		if st := runSimplex(tab, basis, cost, totalCols); st == Unbounded {
+		switch runSimplex(tab, basis, cost, totalCols, deadline) {
+		case Unbounded:
 			// Phase 1 objective is bounded below by 0; unbounded here means
 			// numerical trouble. Report infeasible conservatively.
 			return lpResult{status: Infeasible}
+		case statusDeadline:
+			return lpResult{status: statusDeadline}
 		}
 		if -cost[totalCols] > tolFeas { // objective value = -cost[rhs]
 			return lpResult{status: Infeasible}
@@ -286,8 +303,11 @@ func solveLP(m *Model, lo, hi []float64) lpResult {
 			}
 		}
 	}
-	if st := runSimplex(tab, basis, cost, totalCols); st == Unbounded {
+	switch runSimplex(tab, basis, cost, totalCols, deadline) {
+	case Unbounded:
 		return lpResult{status: Unbounded}
+	case statusDeadline:
+		return lpResult{status: statusDeadline}
 	}
 
 	// Extract std values, then map back to model space.
@@ -318,15 +338,18 @@ func solveLP(m *Model, lo, hi []float64) lpResult {
 	return lpResult{status: Optimal, obj: obj, x: x}
 }
 
-// runSimplex runs primal simplex iterations on the tableau until optimal
-// or unbounded. cost is the current (priced-out) objective row with the
-// running negative objective value in its rhs slot. Dantzig pricing with a
-// switch to Bland's rule guards against cycling.
-func runSimplex(tab [][]float64, basis []int, cost []float64, totalCols int) Status {
+// runSimplex runs primal simplex iterations on the tableau until optimal,
+// unbounded, or the deadline. cost is the current (priced-out) objective
+// row with the running negative objective value in its rhs slot. Dantzig
+// pricing with a switch to Bland's rule guards against cycling.
+func runSimplex(tab [][]float64, basis []int, cost []float64, totalCols int, deadline time.Time) Status {
 	mRows := len(tab)
 	maxIter := 200*(mRows+totalCols) + 2000
 	blandAfter := 20*(mRows+totalCols) + 500
 	for iter := 0; iter < maxIter; iter++ {
+		if !deadline.IsZero() && iter%deadlineCheckEvery == 0 && time.Now().After(deadline) {
+			return statusDeadline
+		}
 		// Entering column.
 		enter := -1
 		if iter < blandAfter {

@@ -302,3 +302,24 @@ func tagKey(tags []constraint.Tag) string {
 func ScoreNode(state *cluster.Cluster, entries []constraint.Entry, tags []constraint.Tag, node cluster.NodeID) float64 {
 	return placementDelta(state, dedupEntries(constraint.ResolveConflicts(entries)), tags, node)
 }
+
+// ViolationFor returns the summed weighted violation extent of the
+// constraints applicable to one allocated container (0 for unknown IDs or
+// when all applicable constraints are satisfied). The audit layer uses it
+// to decide whether a proposed placement introduces new hard-constraint
+// violations.
+func ViolationFor(state *cluster.Cluster, entries []constraint.Entry, id cluster.ContainerID) float64 {
+	node, ok := state.ContainerNode(id)
+	if !ok {
+		return 0
+	}
+	tags, _ := state.ContainerTags(id)
+	total := 0.0
+	for _, e := range dedupEntries(constraint.ResolveConflicts(entries)) {
+		ext, applies := constraintExtent(state, e.Constraint, node, tags)
+		if applies && ext > 0 {
+			total += ext * e.Constraint.EffectiveWeight()
+		}
+	}
+	return total
+}

@@ -485,6 +485,18 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		}
 	}
 
+	// A defective constraint set can produce a malformed model (inverted
+	// bounds, dangling variables). Check before solving and degrade to the
+	// greedy placement instead of crashing the scheduler.
+	if err := m.Check(); err != nil {
+		if debugILP {
+			fmt.Printf("[ilp] model check failed: %v\n", err)
+		}
+		fb.Latency = time.Since(start)
+		fb.Invalid = true
+		return fb
+	}
+
 	sol := m.Solve(ilp.Options{
 		Deadline:  start.Add(opts.solverBudget()),
 		RelGap:    0.01,
@@ -504,6 +516,9 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		// No incumbent within budget: degrade gracefully to the greedy
 		// placement rather than dropping the batch.
 		fb.Latency = time.Since(start)
+		fb.DeadlineHit = sol.DeadlineHit
+		fb.Exhausted = sol.DeadlineHit
+		fb.Invalid = sol.Status == ilp.Invalid
 		return fb
 	}
 
@@ -568,9 +583,11 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 	picker := bestOf{}
 	if picker.score(state, apps, active, fb) >= picker.score(state, apps, active, res) {
 		fb.Latency = time.Since(start)
+		fb.DeadlineHit = sol.DeadlineHit
 		return fb
 	}
 	res.Latency = time.Since(start)
+	res.DeadlineHit = sol.DeadlineHit
 	return res
 }
 

@@ -101,6 +101,18 @@ type Result struct {
 	Placements []Placement
 	// Latency is the wall-clock time the algorithm spent.
 	Latency time.Duration
+	// DeadlineHit reports that the solver stopped on its time budget; the
+	// placements are the best incumbent found (or a heuristic fallback).
+	DeadlineHit bool
+	// Exhausted reports that the budget expired before any incumbent was
+	// found, so the placements are entirely the heuristic fallback's. The
+	// core's circuit breaker treats it as a failure of the configured
+	// algorithm even though the fallback placements still commit.
+	Exhausted bool
+	// Invalid reports that the solver's model failed validation (a
+	// defective constraint set); like Exhausted, the placements come from
+	// the heuristic fallback and the breaker counts a failure.
+	Invalid bool
 }
 
 // PlacedApps returns the number of fully placed applications.

@@ -1,0 +1,101 @@
+package metrics
+
+import "fmt"
+
+// BreakerEvent records one circuit-breaker transition, for diagnostics
+// and the byzantine-algorithm tests.
+type BreakerEvent struct {
+	// Cycle is the scheduling cycle (1-based) the transition happened in.
+	Cycle int
+	// From and To are breaker state names ("closed", "open", "half-open").
+	From, To string
+	// Level is the degradation-ladder level after the transition (0 = the
+	// configured algorithm).
+	Level int
+	// Reason is a short human-readable cause ("panic", "exhausted",
+	// "validation", "probe-ok", "probe-failed", "cooldown").
+	Reason string
+}
+
+// String renders the event for logs.
+func (e BreakerEvent) String() string {
+	return fmt.Sprintf("cycle %d: %s→%s level=%d (%s)", e.Cycle, e.From, e.To, e.Level, e.Reason)
+}
+
+// PipelineStats aggregates the defense-in-depth counters of the hardened
+// placement pipeline: panics recovered from the LRA algorithm, placements
+// rejected by commit-time validation, deadline hits and budget
+// exhaustions in the solver, whole-cluster invariant violations, and
+// circuit-breaker activity over the degradation ladder.
+type PipelineStats struct {
+	// PanicsRecovered counts algorithm panics converted into failed
+	// cycles; LastPanic holds the most recent panic value and stack.
+	PanicsRecovered int
+	LastPanic       string
+
+	// ValidationRejects counts placements vetoed by commit-time
+	// validation (over capacity, hard-constraint violation, double
+	// assignment, unhealthy target node, malformed shape).
+	ValidationRejects int
+	// LastReject holds the most recent validation error.
+	LastReject string
+
+	// DeadlineHits counts cycles whose solver stopped on its time budget
+	// but still produced a placement (incumbent or heuristic fallback).
+	// SolverExhaustions counts cycles where the budget expired with no
+	// incumbent at all; InvalidModels counts cycles whose ILP model failed
+	// validation. Both are breaker failure signals.
+	DeadlineHits      int
+	SolverExhaustions int
+	InvalidModels     int
+
+	// InvariantViolations counts post-commit whole-cluster invariant
+	// check failures (audit.Mode Metrics); LastViolation holds the most
+	// recent one. In FailFast mode the first violation panics instead.
+	InvariantViolations int
+	LastViolation       string
+
+	// DegradedCycles counts cycles placed by a ladder algorithm other
+	// than the configured one (breaker open or probing deeper levels).
+	DegradedCycles int
+
+	// BreakerTrips counts closed→open transitions, BreakerReopens counts
+	// failed half-open probes, BreakerResets counts successful probes
+	// restoring the configured algorithm.
+	BreakerTrips   int
+	BreakerReopens int
+	BreakerResets  int
+
+	// Events is the ordered transition log.
+	Events []BreakerEvent
+}
+
+// RecordTransition appends a breaker event and bumps the matching
+// counter.
+func (p *PipelineStats) RecordTransition(e BreakerEvent) {
+	p.Events = append(p.Events, e)
+	switch {
+	case e.From == "closed" && e.To == "open":
+		p.BreakerTrips++
+	case e.From == "half-open" && e.To == "open":
+		p.BreakerReopens++
+	case e.To == "closed":
+		p.BreakerResets++
+	}
+}
+
+// Table renders the counters as a two-column summary table.
+func (p *PipelineStats) Table(title string) *Table {
+	t := NewTable(title, "metric", "value")
+	t.AddRow("panics recovered", p.PanicsRecovered)
+	t.AddRow("validation rejects", p.ValidationRejects)
+	t.AddRow("solver deadline hits", p.DeadlineHits)
+	t.AddRow("solver exhaustions", p.SolverExhaustions)
+	t.AddRow("invalid models", p.InvalidModels)
+	t.AddRow("invariant violations", p.InvariantViolations)
+	t.AddRow("degraded cycles", p.DegradedCycles)
+	t.AddRow("breaker trips", p.BreakerTrips)
+	t.AddRow("breaker reopens", p.BreakerReopens)
+	t.AddRow("breaker resets", p.BreakerResets)
+	return t
+}

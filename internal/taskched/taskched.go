@@ -300,6 +300,12 @@ func (s *Scheduler) QueueUsed(name string) resource.Vector {
 	return resource.Vector{}
 }
 
+// Queues returns the configured queue names, sorted. Invariant checkers
+// iterate it to verify queue accounting stays non-negative.
+func (s *Scheduler) Queues() []string {
+	return append([]string(nil), s.order...)
+}
+
 // wouldViolate reports whether placing the task on the node would create
 // a new violation of its own constraints (heuristic, subject-side check).
 func (s *Scheduler) wouldViolate(t *pendingTask, node cluster.NodeID) bool {

@@ -30,6 +30,7 @@
 package medea
 
 import (
+	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
 	"medea/internal/core"
@@ -77,6 +78,15 @@ type (
 	NodeState = cluster.NodeState
 	// RecoveryStats aggregates failure-recovery counters (Medea.Recovery).
 	RecoveryStats = metrics.RecoveryStats
+	// PipelineStats aggregates the hardening counters (Medea.Pipeline):
+	// recovered panics, validation rejects, solver deadline hits and
+	// circuit-breaker transitions.
+	PipelineStats = metrics.PipelineStats
+	// BreakerEvent is one circuit-breaker state transition.
+	BreakerEvent = metrics.BreakerEvent
+	// AuditMode selects the post-commit cluster-invariant checker mode
+	// (Config.Audit).
+	AuditMode = audit.Mode
 	// TaskRequest asks for short-running task containers.
 	TaskRequest = taskched.TaskRequest
 	// QueueConfig declares a capacity-scheduler queue.
@@ -98,6 +108,21 @@ const (
 	NodeDraining = cluster.NodeDraining
 	NodeDown     = cluster.NodeDown
 )
+
+// Cluster-invariant auditor modes (Config.Audit). Commit-time validation
+// of individual placements is always on; these govern the whole-cluster
+// invariant sweep after each cycle.
+const (
+	// AuditOff skips the post-cycle sweep.
+	AuditOff = audit.Off
+	// AuditMetrics records invariant violations in Medea.Pipeline.
+	AuditMetrics = audit.Metrics
+	// AuditFailFast panics on the first invariant violation.
+	AuditFailFast = audit.FailFast
+)
+
+// ParseAuditMode parses "off", "metrics" or "fail-fast".
+func ParseAuditMode(s string) (AuditMode, error) { return audit.ParseMode(s) }
 
 // Resource builds a resource vector of memory (MB) and virtual cores.
 func Resource(memoryMB, vcores int64) Vector { return resource.New(memoryMB, vcores) }
