@@ -8,6 +8,7 @@
 //
 // Experiments: fig1 fig2a fig2b fig2c fig2d fig3 table1 fig7 fig8
 // fig8live fig9a fig9b fig9c fig9d fig10 fig11a fig11b fig11c hardening
+// crashrestart
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "scale factor (1.0 = paper dimensions)")
 	budget := flag.Duration("budget", 500*time.Millisecond, "ILP solver budget per cycle")
 	auditMode := flag.String("audit", "off", "cluster-invariant auditor: off, metrics or fail-fast")
+	journalDir := flag.String("journal", "", "directory for file-backed scheduler journals (crashrestart; default in-memory)")
+	crashAt := flag.Int("crash-at", 0, "durability op to crash the scheduler before (crashrestart; 0 = mid-run default)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -38,28 +41,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "medea-sim: %v\n", err)
 		os.Exit(2)
 	}
-	o := experiments.Options{Seed: *seed, Scale: *scale, SolverBudget: *budget, Audit: mode}
+	o := experiments.Options{
+		Seed: *seed, Scale: *scale, SolverBudget: *budget, Audit: mode,
+		JournalDir: *journalDir, CrashAt: *crashAt,
+	}
 
 	runners := map[string]func(experiments.Options) []*metrics.Table{
-		"fig1":      single(experiments.RunFig1),
-		"fig2a":     single(experiments.RunFig2a),
-		"fig2b":     single(experiments.RunFig2b),
-		"fig2c":     single(experiments.RunFig2c),
-		"fig2d":     single(experiments.RunFig2d),
-		"fig3":      single(experiments.RunFig3),
-		"table1":    single(experiments.RunTable1),
-		"fig7":      func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
-		"fig8":      single(experiments.RunFig8),
-		"fig8live":  single(experiments.RunFig8Live),
-		"fig9a":     single(experiments.RunFig9a),
-		"fig9b":     single(experiments.RunFig9b),
-		"fig9c":     single(experiments.RunFig9c),
-		"fig9d":     single(experiments.RunFig9d),
-		"fig10":     func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
-		"fig11a":    single(experiments.RunFig11a),
-		"fig11b":    single(experiments.RunFig11b),
-		"fig11c":    single(experiments.RunFig11c),
-		"hardening": single(experiments.RunHardening),
+		"fig1":         single(experiments.RunFig1),
+		"fig2a":        single(experiments.RunFig2a),
+		"fig2b":        single(experiments.RunFig2b),
+		"fig2c":        single(experiments.RunFig2c),
+		"fig2d":        single(experiments.RunFig2d),
+		"fig3":         single(experiments.RunFig3),
+		"table1":       single(experiments.RunTable1),
+		"fig7":         func(o experiments.Options) []*metrics.Table { return experiments.RunFig7(o).Tables() },
+		"fig8":         single(experiments.RunFig8),
+		"fig8live":     single(experiments.RunFig8Live),
+		"fig9a":        single(experiments.RunFig9a),
+		"fig9b":        single(experiments.RunFig9b),
+		"fig9c":        single(experiments.RunFig9c),
+		"fig9d":        single(experiments.RunFig9d),
+		"fig10":        func(o experiments.Options) []*metrics.Table { return experiments.RunFig10(o).Tables() },
+		"fig11a":       single(experiments.RunFig11a),
+		"fig11b":       single(experiments.RunFig11b),
+		"fig11c":       single(experiments.RunFig11c),
+		"hardening":    single(experiments.RunHardening),
+		"crashrestart": single(experiments.RunCrashRestart),
 	}
 
 	names := flag.Args()
@@ -114,6 +121,7 @@ experiments:
   fig11b  two-scheduler benefit (MEDEA vs ILP-ALL)
   fig11c  task scheduling latency under Google-trace replay
   hardening pipeline defenses under a byzantine algorithm (breaker on/off)
+  crashrestart journaled scheduler killed mid-run, recovered, resumed
   all     everything above
 
 flags:

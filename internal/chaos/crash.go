@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"medea/internal/journal"
+)
+
+// Crash-point injection for the durable-scheduler work: where the rest of
+// this package kills nodes under a live scheduler, CrashJournal kills the
+// scheduler itself. It wraps a journal and panics with a private sentinel
+// immediately BEFORE the KillAt-th durability operation reaches the
+// backend, modeling a process crash at the worst possible instant: the
+// state transition is underway but its record is NOT durable. Driving a
+// scripted run once per possible kill point and recovering each time
+// proves the write-ahead discipline covers every window.
+
+// crashNow is the sentinel panic value of an injected crash.
+type crashNow struct{ op int }
+
+// IsCrash reports whether a recovered panic value is an injected crash.
+func IsCrash(r any) bool {
+	_, ok := r.(crashNow)
+	return ok
+}
+
+// CrashJournal counts durability operations (appends and checkpoints) and
+// injects a crash before the KillAt-th one. KillAt 0 never crashes, which
+// turns the wrapper into a pure op counter for sizing the kill matrix.
+type CrashJournal struct {
+	journal.Journal
+	KillAt int // 1-based op index to die before; 0 = never
+
+	Ops         int // durability operations observed
+	Checkpoints int // how many of them were checkpoints
+}
+
+func (c *CrashJournal) maybeCrash() {
+	c.Ops++
+	if c.KillAt > 0 && c.Ops == c.KillAt {
+		panic(crashNow{op: c.Ops})
+	}
+}
+
+// Append crashes at the kill point, else delegates.
+func (c *CrashJournal) Append(r *journal.Record) error {
+	c.maybeCrash()
+	return c.Journal.Append(r)
+}
+
+// WriteCheckpoint crashes at the kill point, else delegates.
+func (c *CrashJournal) WriteCheckpoint(cp *journal.Checkpoint) error {
+	c.maybeCrash()
+	c.Checkpoints++
+	return c.Journal.WriteCheckpoint(cp)
+}

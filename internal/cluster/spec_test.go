@@ -96,6 +96,138 @@ func TestSpecRoundTripThroughScheduling(t *testing.T) {
 	}
 }
 
+// The snapshot must round-trip everything the node state machine added
+// in the failover work: drain/failed states, static tags, allocations
+// and the static pseudo-container bookkeeping — encode → decode →
+// FromSnapshot → CheckAccounting, then behavioral spot checks.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c, err := LoadSpec(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(0, "a#0", resource.New(2048, 2), []constraint.Tag{"svc", "app:a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(1, "a#1", resource.New(2048, 2), []constraint.Tag{"svc", "app:a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Allocate(1, "b#0", resource.New(1024, 1), []constraint.Tag{"db"}); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the runtime state machine: n1 drains (containers stay),
+	// n2 recovers from its spec-declared down state.
+	if evs := c.DrainNode(1); len(evs) != 2 {
+		t.Fatalf("drain evictions = %d, want 2", len(evs))
+	}
+	if !c.RecoverNode(2) {
+		t.Fatal("n2 did not recover")
+	}
+
+	// Encode → decode through JSON, as a checkpoint would.
+	b, err := json.Marshal(c.TakeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := FromSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.CheckAccounting(); err != nil {
+		t.Fatalf("restored cluster fails accounting: %v", err)
+	}
+
+	// Node state machine round-tripped.
+	if st := rc.Node(1).State(); st != NodeDraining {
+		t.Errorf("n1 state = %s, want draining", st)
+	}
+	if st := rc.Node(2).State(); st != NodeUp {
+		t.Errorf("n2 state = %s, want up", st)
+	}
+	// Allocations and usage round-tripped.
+	if rc.NumContainers() != 3 {
+		t.Errorf("containers = %d, want 3", rc.NumContainers())
+	}
+	if got := rc.Node(1).Used(); got != resource.New(3072, 3) {
+		t.Errorf("n1 used = %v", got)
+	}
+	if node, ok := rc.ContainerNode("a#0"); !ok || node != 0 {
+		t.Errorf("a#0 on node %d (ok=%v), want 0", node, ok)
+	}
+	// Static tags survived as pseudo-containers and still answer γ.
+	if got := rc.GammaNode(0, constraint.E("gpu")); got != 1 {
+		t.Errorf("restored γ(gpu) on n0 = %d", got)
+	}
+	if rc.staticCount != 1 {
+		t.Errorf("staticCount = %d, want 1", rc.staticCount)
+	}
+	// New static tags must not collide with restored pseudo-containers.
+	rc.AddStaticTags(1, "ssd")
+	if err := rc.CheckAccounting(); err != nil {
+		t.Errorf("accounting after AddStaticTags: %v", err)
+	}
+	// Group topology round-tripped: tag counting per upgrade domain.
+	if got := rc.Gamma(constraint.UpgradeDomain, 1, constraint.E("db")); got != 1 {
+		t.Errorf("restored γ(db) in upgrade domain 1 = %d", got)
+	}
+	// Draining node still refuses new allocations after restore.
+	if err := rc.Allocate(1, "c#0", resource.New(512, 1), nil); err == nil {
+		t.Error("restored draining node accepted an allocation")
+	}
+	// A second encode of the restored cluster is identical to the first —
+	// the snapshot is a fixed point.
+	b2, err := json.Marshal(rc.TakeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rc gained one static tag above; re-take from a fresh restore.
+	rc2, err := FromSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2, err = json.Marshal(rc2.TakeSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("snapshot not a fixed point:\n first=%s\nsecond=%s", b, b2)
+	}
+}
+
+func TestFromSnapshotRejectsMalformed(t *testing.T) {
+	base := func() *Snapshot {
+		s := &Snapshot{Nodes: []NodeSnapshot{{Name: "n0", CapacityMB: 1024, CapacityCores: 2, State: "up"}}}
+		return s
+	}
+	cases := map[string]func(*Snapshot){
+		"no nodes":      func(s *Snapshot) { s.Nodes = nil },
+		"unnamed node":  func(s *Snapshot) { s.Nodes[0].Name = "" },
+		"zero capacity": func(s *Snapshot) { s.Nodes[0].CapacityMB = 0 },
+		"bad state":     func(s *Snapshot) { s.Nodes[0].State = "sideways" },
+		"predefined group": func(s *Snapshot) {
+			s.Groups = map[string][][]string{"node": {{"n0"}}}
+		},
+		"unknown group node": func(s *Snapshot) {
+			s.Groups = map[string][][]string{"rack": {{"ghost"}}}
+		},
+		"unknown alloc node": func(s *Snapshot) {
+			s.Allocations = []ContainerSnapshot{{ID: "a#0", Node: "ghost", MemoryMB: 1}}
+		},
+		"overcommitted": func(s *Snapshot) {
+			s.Allocations = []ContainerSnapshot{{ID: "a#0", Node: "n0", MemoryMB: 4096, VCores: 1}}
+		},
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(s)
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestTakeSnapshot(t *testing.T) {
 	c, err := LoadSpec(strings.NewReader(specJSON))
 	if err != nil {

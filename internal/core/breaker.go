@@ -1,6 +1,7 @@
 package core
 
 import (
+	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/metrics"
 )
@@ -126,6 +127,36 @@ func (b *breaker) deeper(level int) int {
 		return level + 1
 	}
 	return len(b.ladder) - 1
+}
+
+// snapshotState captures the breaker position for the journal.
+func (b *breaker) snapshotState() *journal.BreakerState {
+	return &journal.BreakerState{
+		State: b.state.String(), Level: b.level, Failures: b.failures, Wait: b.wait,
+	}
+}
+
+// restore resumes a journaled breaker position, clamping the level to
+// the ladder actually built (the configured algorithm may differ across
+// restarts).
+func (b *breaker) restore(s *journal.BreakerState) {
+	switch s.State {
+	case "open":
+		b.state = bkOpen
+	case "half-open":
+		b.state = bkHalfOpen
+	default:
+		b.state = bkClosed
+	}
+	b.level = s.Level
+	if b.level < 0 {
+		b.level = 0
+	}
+	if b.level >= len(b.ladder) {
+		b.level = len(b.ladder) - 1
+	}
+	b.failures = s.Failures
+	b.wait = s.Wait
 }
 
 func (b *breaker) transition(cycle int, to breakerState, level int, reason string) {

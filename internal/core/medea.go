@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sort"
 	"time"
 
 	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
+	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/metrics"
 	"medea/internal/resource"
@@ -84,6 +86,13 @@ type Config struct {
 	// degraded ladder level before half-open probing the configured
 	// algorithm again (0 = 2).
 	BreakerCooldown int
+
+	// CheckpointEvery is the journal checkpoint cadence in scheduling
+	// cycles: every Nth journaled cycle also writes a full state
+	// checkpoint, bounding the log tail a recovery has to replay (zero =
+	// 16, negative = never checkpoint after the initial one). Ignored
+	// until a journal is attached.
+	CheckpointEvery int
 }
 
 // maxRetries resolves the MaxRetries sentinel: 0 → default 3, negative →
@@ -159,6 +168,18 @@ func (c Config) breakerCooldown() int {
 	return c.BreakerCooldown
 }
 
+// checkpointEvery resolves the CheckpointEvery sentinel: 0 → every 16
+// cycles, negative → never.
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery == 0 {
+		return 16
+	}
+	if c.CheckpointEvery < 0 {
+		return 0
+	}
+	return c.CheckpointEvery
+}
+
 type pendingApp struct {
 	app     *lra.Application
 	submit  time.Time
@@ -225,6 +246,9 @@ type Medea struct {
 	Rejected []string
 	// taskSeq names synthetic task LRAs in ILP-ALL mode.
 	taskSeq int
+
+	// jnl is the attached write-ahead journal (nil = volatile scheduler).
+	jnl journal.Journal
 }
 
 // New builds a Medea instance over a cluster, with the given LRA
@@ -255,6 +279,98 @@ func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.Q
 // Algorithm returns the configured LRA placement algorithm.
 func (m *Medea) Algorithm() lra.Algorithm { return m.alg }
 
+// AttachJournal makes the scheduler's state durable: every subsequent
+// state transition appends a write-ahead record to j, and a full
+// checkpoint is written every Config.CheckpointEvery journaled cycles.
+// An initial checkpoint of the current state is written immediately, so
+// Recover always has a base to replay onto. now stamps that checkpoint.
+func (m *Medea) AttachJournal(j journal.Journal, now time.Time) error {
+	m.jnl = j
+	return j.WriteCheckpoint(m.buildCheckpoint(now))
+}
+
+// Journal returns the attached journal (nil when the scheduler is
+// volatile).
+func (m *Medea) Journal() journal.Journal { return m.jnl }
+
+// logRecord appends one WAL record, fail-stop: a scheduler that cannot
+// persist a state transition must not keep applying it.
+func (m *Medea) logRecord(r *journal.Record) {
+	if m.jnl == nil {
+		return
+	}
+	if err := m.jnl.Append(r); err != nil {
+		panic(fmt.Sprintf("medea: journal append failed: %v", err))
+	}
+}
+
+// buildCheckpoint serialises the scheduler's durable state. All map
+// iterations are sorted so identical states produce identical bytes.
+func (m *Medea) buildCheckpoint(now time.Time) *journal.Checkpoint {
+	cp := &journal.Checkpoint{
+		At:        now,
+		Cycles:    m.cycles,
+		RepairSeq: m.repairSeq,
+		TaskSeq:   m.taskSeq,
+		NextRun:   m.nextRun,
+		Rejected:  append([]string(nil), m.Rejected...),
+		Operator:  m.Constraints.Operator(),
+		Breaker:   m.breakerSnapshot(),
+	}
+	for _, pa := range m.pending {
+		cp.Pending = append(cp.Pending, journal.PendingApp{App: pa.app, Submit: pa.submit, Retries: pa.retries})
+	}
+	deployedIDs := make([]string, 0, len(m.deployed))
+	for appID := range m.deployed {
+		deployedIDs = append(deployedIDs, appID)
+	}
+	sort.Strings(deployedIDs)
+	for _, appID := range deployedIDs {
+		dep := m.deployed[appID]
+		da := journal.DeployedApp{App: dep.app, DegradedSince: dep.degradedSince}
+		for _, id := range dep.order {
+			spec := dep.containers[id]
+			da.Containers = append(da.Containers, journal.DeployedContainer{
+				ID: id, Group: spec.group, Demand: spec.demand, Tags: spec.tags,
+			})
+		}
+		cp.Deployed = append(cp.Deployed, da)
+	}
+	repairIDs := make([]string, 0, len(m.repairs))
+	for appID := range m.repairs {
+		repairIDs = append(repairIDs, appID)
+	}
+	sort.Strings(repairIDs)
+	for _, appID := range repairIDs {
+		r := m.repairs[appID]
+		item := journal.RepairItem{AppID: appID, Attempts: r.attempts, NotBefore: r.notBefore, Since: r.since}
+		for _, p := range r.lost {
+			item.Lost = append(item.Lost, journal.DeployedContainer{
+				ID: p.id, Group: p.spec.group, Demand: p.spec.demand, Tags: p.spec.tags,
+			})
+		}
+		cp.Repairs = append(cp.Repairs, item)
+	}
+	snap := m.Cluster.TakeSnapshot()
+	cp.Cluster = &snap
+	return cp
+}
+
+// writeCheckpoint persists a checkpoint, fail-stop like logRecord.
+func (m *Medea) writeCheckpoint(now time.Time) {
+	if err := m.jnl.WriteCheckpoint(m.buildCheckpoint(now)); err != nil {
+		panic(fmt.Sprintf("medea: journal checkpoint failed: %v", err))
+	}
+}
+
+// breakerSnapshot captures the breaker position (nil when disabled).
+func (m *Medea) breakerSnapshot() *journal.BreakerState {
+	if m.brk == nil {
+		return nil
+	}
+	return m.brk.snapshotState()
+}
+
 // SubmitLRA validates an LRA, registers its constraints with the
 // constraint manager and queues it for the next scheduling cycle (LRA
 // life-cycle steps 1–2, §6).
@@ -269,6 +385,7 @@ func (m *Medea) SubmitLRA(app *lra.Application, now time.Time) error {
 		return err
 	}
 	m.pending = append(m.pending, &pendingApp{app: app, submit: now})
+	m.logRecord(&journal.Record{Kind: journal.KindSubmit, At: now, App: app, AppID: app.ID})
 	return nil
 }
 
@@ -415,6 +532,20 @@ func appEntries(app *lra.Application) []constraint.Entry {
 func (m *Medea) RunCycle(now time.Time) CycleStats {
 	stats := CycleStats{}
 	m.cycles++
+	// Journal the cycle bracket only when there is work: idle cycles
+	// change no durable state. The begin-batch record marks the listed
+	// pending apps in flight; if the process dies before the matching
+	// commit-batch, recovery re-admits them through the pending path.
+	journaled := m.jnl != nil && (len(m.pending) > 0 || m.repairsDue(now))
+	if journaled {
+		ids := make([]string, len(m.pending))
+		for i, p := range m.pending {
+			ids[i] = p.app.ID
+		}
+		m.logRecord(&journal.Record{
+			Kind: journal.KindBeginBatch, At: now, Cycle: m.cycles, NextRun: m.nextRun, Batch: ids,
+		})
+	}
 	m.runRepairs(now, &stats)
 
 	batch := m.pending
@@ -427,6 +558,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	}
 	stats.Batch = len(batch)
 	if len(batch) == 0 {
+		m.finishCycle(journaled, now)
 		m.auditCycle()
 		return stats
 	}
@@ -457,6 +589,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 		stats.PanicRecovered = true
 		m.pending = append(m.pending, batch...)
 		stats.Requeued += len(batch)
+		m.journalRequeues(batch, now)
 	case len(res.Placements) != len(batch):
 		// Malformed result shape; indexing it would corrupt accounting.
 		failed, reason = true, "validation"
@@ -466,6 +599,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 		stats.ValidationRejects++
 		m.pending = append(m.pending, batch...)
 		stats.Requeued += len(batch)
+		m.journalRequeues(batch, now)
 	default:
 		stats.AlgLatency = res.Latency
 		stats.DeadlineHit = res.DeadlineHit
@@ -488,7 +622,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 			if !p.Placed {
 				// Unplaceable this cycle: retry within budget (resources
 				// may free up), then reject.
-				m.requeueOrReject(pa, &stats)
+				m.requeueOrReject(pa, now, &stats)
 				continue
 			}
 			own := appEntries(pa.app)
@@ -500,9 +634,17 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 				m.Pipeline.ValidationRejects++
 				m.Pipeline.LastReject = err.Error()
 				stats.ValidationRejects++
-				m.requeueOrReject(pa, &stats)
+				m.requeueOrReject(pa, now, &stats)
 				continue
 			}
+			// Write-ahead: the placement intent is durable before the
+			// cluster mutation. If the process dies mid-commit, recovery
+			// compares this intent against cluster truth and either adopts
+			// the committed containers or re-queues the app; a failed
+			// commit below is compensated by the requeue/reject record.
+			m.logRecord(&journal.Record{
+				Kind: journal.KindPlace, At: now, AppID: p.AppID, Assignments: p.Assignments,
+			})
 			commit := make([]taskched.CommitAssignment, len(p.Assignments))
 			for j, a := range p.Assignments {
 				commit[j] = taskched.CommitAssignment{
@@ -512,7 +654,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 			if err := m.Tasks.Commit(commit); err != nil {
 				// Conflict with task allocations made since the decision:
 				// resubmit the LRA (§5.4).
-				m.requeueOrReject(pa, &stats)
+				m.requeueOrReject(pa, now, &stats)
 				continue
 			}
 			dep := &deployment{
@@ -533,8 +675,34 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	if m.brk != nil {
 		m.brk.report(m.cycles, failed, reason)
 	}
+	m.finishCycle(journaled, now)
 	m.auditCycle()
 	return stats
+}
+
+// finishCycle closes a journaled cycle: the commit-batch record resolves
+// every in-flight placement intent into deployed state (and carries the
+// breaker position), then the periodic checkpoint runs on its cadence.
+func (m *Medea) finishCycle(journaled bool, now time.Time) {
+	if !journaled {
+		return
+	}
+	m.logRecord(&journal.Record{
+		Kind: journal.KindCommitBatch, At: now, Cycle: m.cycles, Breaker: m.breakerSnapshot(),
+	})
+	if every := m.cfg.checkpointEvery(); every > 0 && m.cycles%every == 0 {
+		m.writeCheckpoint(now)
+	}
+}
+
+// journalRequeues records a whole-batch requeue (panic or malformed
+// result) with each app's retry count unchanged.
+func (m *Medea) journalRequeues(batch []*pendingApp, now time.Time) {
+	for _, pa := range batch {
+		m.logRecord(&journal.Record{
+			Kind: journal.KindRequeue, At: now, AppID: pa.app.ID, Retries: pa.retries,
+		})
+	}
 }
 
 // auditCycle runs the post-commit whole-cluster invariant checker in the
@@ -594,25 +762,34 @@ func (m *Medea) CheckInvariants() error {
 	return nil
 }
 
-func (m *Medea) requeueOrReject(pa *pendingApp, stats *CycleStats) {
+func (m *Medea) requeueOrReject(pa *pendingApp, now time.Time, stats *CycleStats) {
 	pa.retries++
 	if pa.retries > m.cfg.maxRetries() {
 		m.Constraints.RemoveApplication(pa.app.ID)
 		m.Rejected = append(m.Rejected, pa.app.ID)
 		stats.Rejected++
+		m.logRecord(&journal.Record{Kind: journal.KindReject, At: now, AppID: pa.app.ID})
 		return
 	}
 	m.pending = append(m.pending, pa)
 	stats.Requeued++
+	// The persisted retry count is the consumed budget: a recovery
+	// replaying this record resumes with pa.retries already spent rather
+	// than granting a fresh budget.
+	m.logRecord(&journal.Record{Kind: journal.KindRequeue, At: now, AppID: pa.app.ID, Retries: pa.retries})
 }
 
 // RemoveLRA tears an LRA down: releases its containers, drops its
-// constraints and cancels any pending repair.
+// constraints and cancels any pending repair. The teardown intent is
+// journaled before the first release, so a crash mid-teardown rolls
+// forward: recovery drops the LRA and the orphan sweep releases whatever
+// containers the crashed process left behind.
 func (m *Medea) RemoveLRA(appID string) error {
 	dep, ok := m.deployed[appID]
 	if !ok {
 		return fmt.Errorf("core: LRA %s not deployed", appID)
 	}
+	m.logRecord(&journal.Record{Kind: journal.KindRemove, AppID: appID})
 	for _, id := range dep.order {
 		if err := m.Cluster.Release(id); err != nil {
 			return err
@@ -623,6 +800,61 @@ func (m *Medea) RemoveLRA(appID string) error {
 	delete(m.repairs, appID)
 	m.Constraints.RemoveApplication(appID)
 	return nil
+}
+
+// DeployedApps returns the IDs of all deployed LRAs, sorted.
+func (m *Medea) DeployedApps() []string {
+	out := make([]string, 0, len(m.deployed))
+	for appID := range m.deployed {
+		out = append(out, appID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PendingApps returns the IDs of queued LRAs in queue order.
+func (m *Medea) PendingApps() []string {
+	out := make([]string, 0, len(m.pending))
+	for _, pa := range m.pending {
+		out = append(out, pa.app.ID)
+	}
+	return out
+}
+
+// PendingRetries returns the consumed retry budget of a queued LRA
+// (0, false when the app is not pending).
+func (m *Medea) PendingRetries(appID string) (int, bool) {
+	for _, pa := range m.pending {
+		if pa.app.ID == appID {
+			return pa.retries, true
+		}
+	}
+	return 0, false
+}
+
+// PendingRepairPieces returns, per degraded LRA, the container IDs
+// awaiting repair (IDs sorted per app).
+func (m *Medea) PendingRepairPieces() map[string][]cluster.ContainerID {
+	out := make(map[string][]cluster.ContainerID, len(m.repairs))
+	for appID, r := range m.repairs {
+		ids := make([]cluster.ContainerID, 0, len(r.lost))
+		for _, p := range r.lost {
+			ids = append(ids, p.id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[appID] = ids
+	}
+	return out
+}
+
+// RepairBudget returns the consumed attempt count of a pending repair
+// (0, false when the app has none).
+func (m *Medea) RepairBudget(appID string) (int, bool) {
+	r, ok := m.repairs[appID]
+	if !ok {
+		return 0, false
+	}
+	return r.attempts, true
 }
 
 // ActiveEntries returns all currently registered constraints (deployed

@@ -1,0 +1,465 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/journal"
+	"medea/internal/lra"
+	"medea/internal/taskched"
+)
+
+// Restart recovery. The failure model is a scheduler process crash: the
+// cluster (and the containers on it) keeps running, the journal survives,
+// and everything in the Medea struct is lost. Recover rebuilds the
+// scheduler in three passes:
+//
+//  1. restore the latest checkpoint (full durable state at one record
+//     boundary);
+//  2. replay the WAL tail over it, tracking the in-flight window of an
+//     unfinished cycle (begin-batch without commit-batch) and its
+//     placement intents;
+//  3. reconcile against live cluster truth — the journal can be at most
+//     one operation behind the cluster, in either direction:
+//     - placement intents whose containers the cluster runs are adopted
+//       as deployments (roll-forward); intents that never committed send
+//       their app back through the normal pending path;
+//     - repair pieces the cluster already runs (commit landed, the
+//       repair-ok record did not) are re-adopted;
+//     - deployed containers the cluster lost (eviction before its record
+//       landed) are re-queued as zombies through the repair pipeline,
+//       keeping any persisted attempt budget;
+//     - containers the cluster runs for an LRA nothing owns any more
+//       (crash mid-RemoveLRA) are released as orphans.
+//
+// Deliberately NOT persisted: metrics (counters restart at zero), the
+// task-based scheduler's queue accounting (tasks are short-lived and
+// re-submitted by their owners; unknown-container evictions are no-ops),
+// and solver-internal state. Cluster truth is authoritative over the
+// checkpoint's informational cluster snapshot.
+
+// replayState tracks the open batch window while replaying the WAL tail.
+type replayState struct {
+	inFlight   map[string]*pendingApp
+	intents    map[string][]lra.Assignment
+	batchOrder []string
+	// lraSeen accumulates every container ID the journal associated with
+	// an LRA; the orphan sweep releases the unowned survivors among them.
+	lraSeen map[cluster.ContainerID]bool
+}
+
+// Recover rebuilds a scheduler from its journal and the live cluster.
+// now is the scheduler time recovery happens at (backoff gates and
+// degradation windows for re-queued zombies start here). The journal is
+// re-attached to the recovered instance and a fresh checkpoint is
+// written, so the next recovery replays a short tail.
+func Recover(j journal.Journal, c *cluster.Cluster, alg lra.Algorithm, cfg Config, now time.Time, queues ...taskched.QueueConfig) (*Medea, error) {
+	start := time.Now()
+	cp, tail, err := j.Load()
+	if err != nil {
+		return nil, fmt.Errorf("core: recover: %w", err)
+	}
+	m := New(c, alg, cfg, queues...)
+	rp := &replayState{
+		inFlight: make(map[string]*pendingApp),
+		intents:  make(map[string][]lra.Assignment),
+		lraSeen:  make(map[cluster.ContainerID]bool),
+	}
+	if cp != nil {
+		if err := m.restoreCheckpoint(cp); err != nil {
+			return nil, fmt.Errorf("core: recover: %w", err)
+		}
+	}
+	for _, dep := range m.deployed {
+		for id := range dep.containers {
+			rp.lraSeen[id] = true
+		}
+	}
+	for _, r := range m.repairs {
+		for _, p := range r.lost {
+			rp.lraSeen[p.id] = true
+		}
+	}
+	for _, r := range tail {
+		if err := m.replayRecord(r, rp); err != nil {
+			return nil, fmt.Errorf("core: recover: replaying record %d (%s): %w", r.Seq, r.Kind, err)
+		}
+		m.Recovery.JournalReplayed++
+	}
+	m.reconcile(rp, now)
+	if err := m.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: recover: recovered state fails invariants: %w", err)
+	}
+	m.Recovery.RecoveryWallTime = time.Since(start)
+	m.jnl = j
+	m.writeCheckpoint(now)
+	return m, nil
+}
+
+// restoreCheckpoint loads a checkpoint into a fresh instance.
+func (m *Medea) restoreCheckpoint(cp *journal.Checkpoint) error {
+	m.cycles = cp.Cycles
+	m.repairSeq = cp.RepairSeq
+	m.taskSeq = cp.TaskSeq
+	m.nextRun = cp.NextRun
+	m.Rejected = append([]string(nil), cp.Rejected...)
+	if len(cp.Operator) > 0 {
+		if err := m.Constraints.AddOperator(cp.Operator...); err != nil {
+			return err
+		}
+	}
+	for _, pa := range cp.Pending {
+		if pa.App == nil {
+			return fmt.Errorf("checkpoint pending entry without application")
+		}
+		if err := m.Constraints.AddApplication(pa.App.ID, pa.App.Constraints...); err != nil {
+			return err
+		}
+		m.pending = append(m.pending, &pendingApp{app: pa.App, submit: pa.Submit, retries: pa.Retries})
+	}
+	for _, da := range cp.Deployed {
+		if da.App == nil {
+			return fmt.Errorf("checkpoint deployed entry without application")
+		}
+		if err := m.Constraints.AddApplication(da.App.ID, da.App.Constraints...); err != nil {
+			return err
+		}
+		dep := &deployment{
+			app:           da.App,
+			containers:    make(map[cluster.ContainerID]containerSpec, len(da.Containers)),
+			degradedSince: da.DegradedSince,
+		}
+		for _, ctr := range da.Containers {
+			dep.containers[ctr.ID] = containerSpec{group: ctr.Group, demand: ctr.Demand, tags: ctr.Tags}
+			dep.order = append(dep.order, ctr.ID)
+			m.owner[ctr.ID] = da.App.ID
+		}
+		m.deployed[da.App.ID] = dep
+	}
+	for _, it := range cp.Repairs {
+		r := &repairReq{appID: it.AppID, attempts: it.Attempts, notBefore: it.NotBefore, since: it.Since}
+		for _, ctr := range it.Lost {
+			r.lost = append(r.lost, repairPiece{
+				id: ctr.ID, spec: containerSpec{group: ctr.Group, demand: ctr.Demand, tags: ctr.Tags},
+			})
+		}
+		m.repairs[it.AppID] = r
+	}
+	if m.brk != nil && cp.Breaker != nil {
+		m.brk.restore(cp.Breaker)
+	}
+	return nil
+}
+
+// replayRecord applies one WAL record to the rebuilding scheduler state.
+// Replay touches scheduler bookkeeping only — never the cluster, whose
+// live state is truth the reconciliation sweep compares against.
+func (m *Medea) replayRecord(r *journal.Record, rp *replayState) error {
+	switch r.Kind {
+	case journal.KindSubmit:
+		if r.App == nil {
+			return fmt.Errorf("submit record without application")
+		}
+		if err := m.Constraints.AddApplication(r.App.ID, r.App.Constraints...); err != nil {
+			return err
+		}
+		m.pending = append(m.pending, &pendingApp{app: r.App, submit: r.At})
+
+	case journal.KindBeginBatch:
+		m.cycles = r.Cycle
+		m.nextRun = r.NextRun
+		rp.batchOrder = r.Batch
+		taken := make(map[string]bool, len(r.Batch))
+		for _, appID := range r.Batch {
+			taken[appID] = true
+		}
+		var rest []*pendingApp
+		for _, pa := range m.pending {
+			if taken[pa.app.ID] && rp.inFlight[pa.app.ID] == nil {
+				rp.inFlight[pa.app.ID] = pa
+				continue
+			}
+			rest = append(rest, pa)
+		}
+		m.pending = rest
+
+	case journal.KindPlace:
+		rp.intents[r.AppID] = r.Assignments
+		for _, a := range r.Assignments {
+			rp.lraSeen[a.Container] = true
+		}
+
+	case journal.KindRequeue:
+		if pa := rp.inFlight[r.AppID]; pa != nil {
+			pa.retries = r.Retries
+			m.pending = append(m.pending, pa)
+			delete(rp.inFlight, r.AppID)
+			delete(rp.intents, r.AppID)
+		}
+
+	case journal.KindReject:
+		delete(rp.inFlight, r.AppID)
+		delete(rp.intents, r.AppID)
+		m.Constraints.RemoveApplication(r.AppID)
+		m.Rejected = append(m.Rejected, r.AppID)
+
+	case journal.KindCommitBatch:
+		m.cycles = r.Cycle
+		// Every in-flight app with an intent committed before this record
+		// was written; resolve them into deployments.
+		for _, appID := range rp.batchOrder {
+			pa := rp.inFlight[appID]
+			if pa == nil {
+				continue
+			}
+			intent := rp.intents[appID]
+			if len(intent) == 0 {
+				// Defensive: a batch member with neither intent nor
+				// requeue/reject should not exist; re-queue it unchanged.
+				m.pending = append(m.pending, pa)
+				continue
+			}
+			m.adoptIntent(pa.app, intent)
+		}
+		rp.inFlight = make(map[string]*pendingApp)
+		rp.intents = make(map[string][]lra.Assignment)
+		rp.batchOrder = nil
+		if m.brk != nil && r.Breaker != nil {
+			m.brk.restore(r.Breaker)
+		}
+
+	case journal.KindEvict:
+		for _, ev := range r.Evictions {
+			appID, owned := m.owner[ev.Container]
+			if !owned {
+				continue // task eviction: queue accounting is not persisted
+			}
+			rp.lraSeen[ev.Container] = true
+			dep := m.deployed[appID]
+			spec, ok := dep.containers[ev.Container]
+			if !ok {
+				continue
+			}
+			delete(dep.containers, ev.Container)
+			delete(m.owner, ev.Container)
+			for i, id := range dep.order {
+				if id == ev.Container {
+					dep.order = append(dep.order[:i], dep.order[i+1:]...)
+					break
+				}
+			}
+			if dep.degradedSince.IsZero() {
+				dep.degradedSince = r.At
+			}
+			req := m.repairs[appID]
+			if req == nil {
+				req = &repairReq{appID: appID, since: r.At, notBefore: r.At}
+				m.repairs[appID] = req
+			}
+			req.lost = append(req.lost, repairPiece{id: ev.Container, spec: spec})
+		}
+
+	case journal.KindRepairOK:
+		req := m.repairs[r.AppID]
+		dep := m.deployed[r.AppID]
+		if req == nil || dep == nil {
+			return nil
+		}
+		byID := make(map[cluster.ContainerID]repairPiece, len(req.lost))
+		for _, p := range req.lost {
+			byID[p.id] = p
+		}
+		for _, id := range r.Restored {
+			p, ok := byID[id]
+			if !ok {
+				continue
+			}
+			dep.containers[p.id] = p.spec
+			dep.order = append(dep.order, p.id)
+			m.owner[p.id] = r.AppID
+		}
+		delete(m.repairs, r.AppID) // repairs are all-or-nothing
+		if len(dep.containers) == dep.app.NumContainers() {
+			dep.degradedSince = time.Time{}
+		}
+
+	case journal.KindRepairFail:
+		if req := m.repairs[r.AppID]; req != nil {
+			req.attempts = r.Attempts
+			req.notBefore = r.NotBefore
+		}
+
+	case journal.KindRepairAbandon:
+		delete(m.repairs, r.AppID)
+		if dep := m.deployed[r.AppID]; dep != nil {
+			dep.degradedSince = time.Time{}
+		}
+
+	case journal.KindRemove:
+		if dep := m.deployed[r.AppID]; dep != nil {
+			// Scheduler-side teardown only; the crashed process may have
+			// released any subset of the containers. They stay in lraSeen,
+			// so the orphan sweep finishes the job against cluster truth.
+			for id := range dep.containers {
+				rp.lraSeen[id] = true
+				delete(m.owner, id)
+			}
+			delete(m.deployed, r.AppID)
+		}
+		delete(m.repairs, r.AppID)
+		m.Constraints.RemoveApplication(r.AppID)
+
+	case journal.KindNodeRecover:
+		for _, req := range m.repairs {
+			if req.notBefore.After(r.At) {
+				req.notBefore = r.At
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown record kind %q", r.Kind)
+	}
+	return nil
+}
+
+// adoptIntent turns a replayed placement intent into a deployment. The
+// reconciliation sweep afterwards validates every adopted container
+// against cluster truth (missing ones become zombies).
+func (m *Medea) adoptIntent(app *lra.Application, intent []lra.Assignment) {
+	dep := &deployment{
+		app:        app,
+		containers: make(map[cluster.ContainerID]containerSpec, len(intent)),
+	}
+	for _, a := range intent {
+		dep.containers[a.Container] = containerSpec{group: a.Group, demand: a.Demand, tags: a.Tags}
+		dep.order = append(dep.order, a.Container)
+		m.owner[a.Container] = app.ID
+	}
+	m.deployed[app.ID] = dep
+}
+
+// reconcile aligns the replayed scheduler state with live cluster truth.
+func (m *Medea) reconcile(rp *replayState, now time.Time) {
+	// 1. Half-applied batch: a begin-batch without its commit-batch left
+	// apps in flight. An app whose intent the cluster honors is adopted;
+	// one whose commit never landed (or that never reached placement)
+	// goes back through the normal pending path with its persisted retry
+	// budget.
+	for _, appID := range rp.batchOrder {
+		pa := rp.inFlight[appID]
+		if pa == nil {
+			continue // resolved by a requeue/reject record
+		}
+		intent := rp.intents[appID]
+		committed := len(intent) > 0
+		for _, a := range intent {
+			if _, ok := m.Cluster.ContainerNode(a.Container); !ok {
+				committed = false // task commits are atomic: all or nothing
+				break
+			}
+		}
+		if !committed {
+			m.pending = append(m.pending, pa)
+			m.Recovery.BatchesReadmitted++
+			continue
+		}
+		m.adoptIntent(pa.app, intent)
+		m.Recovery.ContainersAdopted += len(intent)
+	}
+
+	// 2. Repair pieces the cluster already runs: the repair committed but
+	// the crash beat its repair-ok record. Re-adopt them; what remains
+	// lost keeps its persisted attempt budget.
+	for _, appID := range sortedRepairIDs(m.repairs) {
+		req := m.repairs[appID]
+		dep := m.deployed[appID]
+		if dep == nil {
+			delete(m.repairs, appID)
+			continue
+		}
+		var remaining []repairPiece
+		for _, p := range req.lost {
+			if _, ok := m.Cluster.ContainerNode(p.id); !ok {
+				remaining = append(remaining, p)
+				continue
+			}
+			dep.containers[p.id] = p.spec
+			dep.order = append(dep.order, p.id)
+			m.owner[p.id] = appID
+			m.Recovery.ContainersAdopted++
+		}
+		if len(remaining) == 0 {
+			delete(m.repairs, appID)
+			if len(dep.containers) == dep.app.NumContainers() {
+				dep.degradedSince = time.Time{}
+			}
+			continue
+		}
+		req.lost = remaining
+	}
+
+	// 3. Zombie sweep: deployed containers the cluster no longer runs
+	// (an eviction whose record never landed, or state the checkpoint
+	// believed in). Re-queue them through the repair pipeline.
+	deployedIDs := make([]string, 0, len(m.deployed))
+	for appID := range m.deployed {
+		deployedIDs = append(deployedIDs, appID)
+	}
+	sort.Strings(deployedIDs)
+	for _, appID := range deployedIDs {
+		dep := m.deployed[appID]
+		live := dep.order[:0]
+		for _, id := range dep.order {
+			if _, ok := m.Cluster.ContainerNode(id); ok {
+				live = append(live, id)
+				continue
+			}
+			spec := dep.containers[id]
+			delete(dep.containers, id)
+			delete(m.owner, id)
+			req := m.repairs[appID]
+			if req == nil {
+				req = &repairReq{appID: appID, since: now, notBefore: now}
+				m.repairs[appID] = req
+			}
+			req.lost = append(req.lost, repairPiece{id: id, spec: spec})
+			if dep.degradedSince.IsZero() {
+				dep.degradedSince = now
+			}
+			m.Recovery.ZombiesRequeued++
+		}
+		dep.order = live
+	}
+
+	// 4. Orphan sweep: containers the cluster runs for an LRA that no
+	// longer owns them (crash mid-RemoveLRA, or an adoption the journal
+	// later walked back). Release them — nothing will ever reclaim them.
+	orphans := make([]cluster.ContainerID, 0, len(rp.lraSeen))
+	for id := range rp.lraSeen {
+		orphans = append(orphans, id)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, id := range orphans {
+		if _, owned := m.owner[id]; owned {
+			continue
+		}
+		if _, ok := m.Cluster.ContainerNode(id); !ok {
+			continue
+		}
+		if err := m.Cluster.Release(id); err != nil {
+			panic(err) // unreachable: the container was just looked up
+		}
+		m.Recovery.OrphansReleased++
+	}
+}
+
+func sortedRepairIDs(repairs map[string]*repairReq) []string {
+	out := make([]string, 0, len(repairs))
+	for appID := range repairs {
+		out = append(out, appID)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"time"
 
 	"medea/internal/audit"
 	"medea/internal/cluster"
+	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/taskched"
 )
@@ -69,6 +71,7 @@ func (m *Medea) RecoverNode(node cluster.NodeID, now time.Time) bool {
 		return false
 	}
 	m.Recovery.NodeRecoveries++
+	m.logRecord(&journal.Record{Kind: journal.KindNodeRecover, At: now, Node: node})
 	for _, r := range m.repairs {
 		if r.notBefore.After(now) {
 			r.notBefore = now
@@ -108,6 +111,13 @@ func (m *Medea) DrainNode(node cluster.NodeID, now time.Time) []cluster.Eviction
 // are reported to the task scheduler for queue accounting. It returns the
 // number of degraded LRAs.
 func (m *Medea) HandleEvictions(evs []cluster.Eviction, now time.Time) int {
+	if len(evs) > 0 {
+		// The eviction record precedes the scheduler-state mutations: a
+		// crash right here leaves the journal behind cluster truth, which
+		// the recovery zombie sweep repairs (the containers are already
+		// gone from the cluster either way).
+		m.logRecord(&journal.Record{Kind: journal.KindEvict, At: now, Evictions: evs})
+	}
 	degraded := map[string]bool{}
 	var taskEvs []cluster.Eviction
 	for _, ev := range evs {
@@ -168,6 +178,34 @@ func (m *Medea) PendingRepairs() int {
 		n += len(r.lost)
 	}
 	return n
+}
+
+// repairBackoffFor returns the backoff gate delay after the attempts-th
+// consecutive failed repair of appID: exponential from repairBackoff(),
+// capped at repairBackoffMax(), plus a decorrelation jitter in
+// [0, backoff/8) drawn from an FNV-1a hash of (appID, attempts). The
+// jitter spreads the retries of LRAs degraded by the same node failure
+// without any mutable RNG state: the schedule is a pure function of its
+// inputs, so a journal replay recomputes exactly the gates the live run
+// chose.
+func (c Config) repairBackoffFor(appID string, attempts int) time.Duration {
+	shift := attempts - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16 // cap the shift; the max clamp below dominates anyway
+	}
+	backoff := c.repairBackoff() << uint(shift)
+	if max := c.repairBackoffMax(); backoff > max {
+		backoff = max
+	}
+	if window := backoff / 8; window > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s|%d", appID, attempts)
+		backoff += time.Duration(h.Sum64() % uint64(window))
+	}
+	return backoff
 }
 
 // repairsDue reports whether any repair is past its backoff gate.
@@ -318,15 +356,27 @@ func (m *Medea) attemptRepair(r *repairReq, dep *deployment, now time.Time, stat
 			m.Recovery.RepairsAbandoned++
 			m.Recovery.AddDegraded(r.appID, now.Sub(dep.degradedSince))
 			dep.degradedSince = time.Time{}
+			m.logRecord(&journal.Record{Kind: journal.KindRepairAbandon, At: now, AppID: r.appID})
 			return true // drop the request
 		}
-		backoff := m.cfg.repairBackoff() << uint(r.attempts-1)
-		if max := m.cfg.repairBackoffMax(); backoff > max {
-			backoff = max
-		}
-		r.notBefore = now.Add(backoff)
+		r.notBefore = now.Add(m.cfg.repairBackoffFor(r.appID, r.attempts))
+		// The persisted attempt count and gate are the consumed budget: a
+		// recovery-replayed repair resumes with r.attempts already spent.
+		m.logRecord(&journal.Record{
+			Kind: journal.KindRepairFail, At: now, AppID: r.appID,
+			Attempts: r.attempts, NotBefore: r.notBefore,
+		})
 		return false
 	}
+
+	restoredIDs := make([]cluster.ContainerID, len(restoredPieces))
+	for i, piece := range restoredPieces {
+		restoredIDs[i] = piece.id
+	}
+	// Post-commit record: if the process dies between the commit above
+	// and this append, recovery finds the pieces alive in the cluster and
+	// re-adopts them (the repair-piece reconciliation rule).
+	m.logRecord(&journal.Record{Kind: journal.KindRepairOK, At: now, AppID: r.appID, Restored: restoredIDs})
 
 	for _, piece := range restoredPieces {
 		dep.containers[piece.id] = piece.spec

@@ -230,35 +230,44 @@ func drainedPair(t *testing.T, cfg Config) (*Medea, func()) {
 // the request is dropped after the retry budget, with the degraded time
 // accounted.
 func TestRepairBackoffAndAbandon(t *testing.T) {
-	m, _ := drainedPair(t, Config{
+	cfg := Config{
 		Interval: time.Second, RepairMaxRetries: 2, RepairBackoff: time.Second,
 		RepairFallbackAfter: -1,
-	})
+	}
+	m, _ := drainedPair(t, cfg)
 	t1 := t0.Add(time.Minute)
 	if evs := m.FailNode(0, t1); len(evs) != 2 {
 		t.Fatalf("evictions = %d, want 2", len(evs))
 	}
+	// The deterministic backoff schedule: ~1s after attempt 1, ~2s after
+	// attempt 2 (exponential base plus per-app jitter).
+	g1 := cfg.repairBackoffFor("a", 1)
+	g2 := cfg.repairBackoffFor("a", 2)
+	if g1 < time.Second || g2 < 2*time.Second {
+		t.Fatalf("backoff gates shrank below base: g1=%v g2=%v", g1, g2)
+	}
 
-	// Attempt 1 fails; backoff gates the next attempt for 1s.
+	// Attempt 1 fails; backoff gates the next attempt until t1+g1.
 	m.RunCycle(t1)
 	if m.Recovery.RepairAttemptsFailed != 1 {
 		t.Fatalf("attempts = %d", m.Recovery.RepairAttemptsFailed)
 	}
-	m.RunCycle(t1.Add(500 * time.Millisecond))
+	m.RunCycle(t1.Add(g1 - time.Millisecond))
 	if m.Recovery.RepairAttemptsFailed != 1 {
 		t.Error("attempt ran inside the backoff window")
 	}
-	// Attempt 2 at +1s; backoff doubles to 2s.
-	m.RunCycle(t1.Add(time.Second))
+	// Attempt 2 at +g1; backoff roughly doubles to g2.
+	m.RunCycle(t1.Add(g1))
 	if m.Recovery.RepairAttemptsFailed != 2 {
 		t.Fatalf("attempts = %d, want 2", m.Recovery.RepairAttemptsFailed)
 	}
-	m.RunCycle(t1.Add(2 * time.Second))
+	m.RunCycle(t1.Add(g1 + g2 - time.Millisecond))
 	if m.Recovery.RepairAttemptsFailed != 2 {
 		t.Error("attempt ran inside the doubled backoff window")
 	}
 	// Attempt 3 exceeds RepairMaxRetries=2: abandoned.
-	m.RunCycle(t1.Add(3 * time.Second))
+	abandonAt := t1.Add(g1 + g2)
+	m.RunCycle(abandonAt)
 	if m.Recovery.RepairsAbandoned != 1 {
 		t.Fatalf("RepairsAbandoned = %d", m.Recovery.RepairsAbandoned)
 	}
@@ -268,22 +277,23 @@ func TestRepairBackoffAndAbandon(t *testing.T) {
 	if got := m.DegradedLRAs(); len(got) != 1 || got[0] != "a" {
 		t.Errorf("DegradedLRAs = %v, abandoned LRA should stay degraded", got)
 	}
-	if d := m.Recovery.DegradedTime["a"]; d != 3*time.Second {
-		t.Errorf("degraded time = %v, want 3s", d)
+	if d := m.Recovery.DegradedTime["a"]; d != g1+g2 {
+		t.Errorf("degraded time = %v, want %v", d, g1+g2)
 	}
 }
 
 // TestRepairFallbackToGreedy: after RepairFallbackAfter failed attempts,
 // the repair batch is placed by the greedy heuristic.
 func TestRepairFallbackToGreedy(t *testing.T) {
-	m, release := drainedPair(t, Config{
+	cfg := Config{
 		Interval: time.Second, RepairBackoff: time.Second, RepairFallbackAfter: 1,
-	})
+	}
+	m, release := drainedPair(t, cfg)
 	t1 := t0.Add(time.Minute)
 	m.FailNode(0, t1)
 	m.RunCycle(t1) // attempt 1 fails (cluster full)
 	release()      // capacity returns
-	stats := m.RunCycle(t1.Add(time.Second))
+	stats := m.RunCycle(t1.Add(cfg.repairBackoffFor("a", 1)))
 	if stats.Repaired != 2 {
 		t.Fatalf("stats = %+v, want 2 repaired", stats)
 	}

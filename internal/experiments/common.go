@@ -39,6 +39,12 @@ type Options struct {
 	// the suite with fail-fast so a scheduler bug aborts the experiment
 	// at the first corrupted cycle instead of skewing the tables).
 	Audit audit.Mode
+	// JournalDir, when non-empty, backs the crash-restart experiment's
+	// journals with real files under this directory instead of memory.
+	JournalDir string
+	// CrashAt selects the durability operation the crash-restart
+	// experiment kills the scheduler before (0 = a mid-run default).
+	CrashAt int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,205 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// encodeRecord / decodeRecord and the checkpoint pair are the single
+// codec both backends share, so a state that cannot round-trip through
+// the file backend fails in the in-memory one too.
+func encodeRecord(r *Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record %d (%s): %w", r.Seq, r.Kind, err)
+	}
+	return b, nil
+}
+
+func decodeRecord(b []byte) (*Record, error) {
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("journal: decoding record: %w", err)
+	}
+	return &r, nil
+}
+
+func encodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding checkpoint at seq %d: %w", c.Seq, err)
+	}
+	return b, nil
+}
+
+func decodeCheckpoint(b []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("journal: decoding checkpoint: %w", err)
+	}
+	return &c, nil
+}
+
+const (
+	walName        = "wal.log"
+	checkpointName = "checkpoint.json"
+)
+
+// File is the file-backed journal: a directory holding a line-JSON
+// write-ahead log (wal.log) and the latest checkpoint (checkpoint.json,
+// replaced atomically via rename). The log is truncated after a
+// checkpoint lands; if the process dies between the two steps, Load
+// filters the stale prefix by Seq, so a torn checkpoint+truncate pair
+// never loses or duplicates records.
+type File struct {
+	dir string
+	wal *os.File
+	w   *bufio.Writer
+	seq int64
+}
+
+// OpenDir opens (or creates) a file-backed journal in dir. An existing
+// journal is resumed: the sequence counter continues after the highest
+// Seq on disk.
+func OpenDir(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating dir: %w", err)
+	}
+	f := &File{dir: dir}
+	cp, recs, err := f.Load()
+	if err != nil {
+		return nil, err
+	}
+	if cp != nil {
+		f.seq = cp.Seq
+	}
+	if n := len(recs); n > 0 && recs[n-1].Seq > f.seq {
+		f.seq = recs[n-1].Seq
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening wal: %w", err)
+	}
+	f.wal = wal
+	f.w = bufio.NewWriter(wal)
+	return f, nil
+}
+
+// Dir returns the journal directory.
+func (f *File) Dir() string { return f.dir }
+
+// Append implements Journal. Each record is flushed to the OS before
+// Append returns, so a scheduler crash (the failure model here — not a
+// kernel crash) never loses an acknowledged record.
+func (f *File) Append(r *Record) error {
+	if f.wal == nil {
+		return fmt.Errorf("journal: append on closed journal")
+	}
+	f.seq++
+	r.Seq = f.seq
+	b, err := encodeRecord(r)
+	if err != nil {
+		f.seq--
+		return err
+	}
+	if _, err := f.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("journal: appending record %d: %w", r.Seq, err)
+	}
+	if err := f.w.Flush(); err != nil {
+		return fmt.Errorf("journal: flushing record %d: %w", r.Seq, err)
+	}
+	return nil
+}
+
+// WriteCheckpoint implements Journal: the checkpoint is written to a
+// temporary file and renamed over checkpoint.json, then the WAL is
+// truncated (its records are covered by the checkpoint).
+func (f *File) WriteCheckpoint(c *Checkpoint) error {
+	if f.wal == nil {
+		return fmt.Errorf("journal: checkpoint on closed journal")
+	}
+	c.Seq = f.seq
+	b, err := encodeCheckpoint(c)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(f.dir, checkpointName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("journal: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, checkpointName)); err != nil {
+		return fmt.Errorf("journal: publishing checkpoint: %w", err)
+	}
+	// Rotate the WAL. A crash before this point leaves a stale prefix
+	// that Load drops by Seq.
+	if err := f.wal.Close(); err != nil {
+		return fmt.Errorf("journal: rotating wal: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(f.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: rotating wal: %w", err)
+	}
+	f.wal = wal
+	f.w = bufio.NewWriter(wal)
+	return nil
+}
+
+// Load implements Journal, reading the on-disk state: the latest
+// checkpoint (if any) and the WAL records newer than it, in Seq order.
+func (f *File) Load() (*Checkpoint, []*Record, error) {
+	var cp *Checkpoint
+	if b, err := os.ReadFile(filepath.Join(f.dir, checkpointName)); err == nil {
+		cp, err = decodeCheckpoint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: reading checkpoint: %w", err)
+	}
+	var recs []*Record
+	wal, err := os.Open(filepath.Join(f.dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return cp, nil, nil
+		}
+		return nil, nil, fmt.Errorf("journal: opening wal: %w", err)
+	}
+	defer wal.Close()
+	sc := bufio.NewScanner(wal)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		r, err := decodeRecord(line)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cp != nil && r.Seq <= cp.Seq {
+			continue // stale prefix from a torn checkpoint+rotate
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("journal: scanning wal: %w", err)
+	}
+	return cp, recs, nil
+}
+
+// Close implements Journal.
+func (f *File) Close() error {
+	if f.wal == nil {
+		return nil
+	}
+	if err := f.w.Flush(); err != nil {
+		return err
+	}
+	err := f.wal.Close()
+	f.wal = nil
+	f.w = nil
+	return err
+}

@@ -1,0 +1,241 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/lra"
+	"medea/internal/resource"
+)
+
+var t0 = time.Unix(5000, 0).UTC()
+
+func sampleApp(id string) *lra.Application {
+	return &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{
+			{Name: "worker", Count: 2, Demand: resource.New(2048, 1), Tags: []constraint.Tag{"svc"}},
+		},
+		Constraints: []constraint.Constraint{
+			constraint.New(constraint.AntiAffinity(
+				constraint.Expr{"svc"}, constraint.Expr{"svc"}, constraint.Node)),
+		},
+	}
+}
+
+func sampleRecords() []*Record {
+	return []*Record{
+		{Kind: KindSubmit, At: t0, App: sampleApp("a"), AppID: "a"},
+		{Kind: KindBeginBatch, At: t0, Cycle: 1, NextRun: t0.Add(10 * time.Second), Batch: []string{"a"}},
+		{Kind: KindPlace, At: t0, AppID: "a", Assignments: []lra.Assignment{
+			{Container: "a#0", Group: "worker", Node: 0, Demand: resource.New(2048, 1), Tags: []constraint.Tag{"svc", "app:a"}},
+		}},
+		{Kind: KindCommitBatch, At: t0, Cycle: 1, Breaker: &BreakerState{State: "closed"}},
+		{Kind: KindEvict, At: t0.Add(time.Second), Evictions: []cluster.Eviction{
+			{Container: "a#0", Node: 0, Demand: resource.New(2048, 1), Tags: []constraint.Tag{"svc", "app:a"}},
+		}},
+		{Kind: KindRepairFail, At: t0.Add(2 * time.Second), AppID: "a", Attempts: 1, NotBefore: t0.Add(12 * time.Second)},
+	}
+}
+
+func checkTail(t *testing.T, got []*Record, want []*Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		w := want[i]
+		if r.Kind != w.Kind || r.AppID != w.AppID || !r.At.Equal(w.At) {
+			t.Errorf("record %d: got {%s %s %v}, want {%s %s %v}", i, r.Kind, r.AppID, r.At, w.Kind, w.AppID, w.At)
+		}
+		if r.Seq == 0 {
+			t.Errorf("record %d: Seq not assigned", i)
+		}
+	}
+}
+
+// Both backends must behave identically; run the suite over each.
+func backends(t *testing.T) map[string]func() Journal {
+	return map[string]func() Journal{
+		"memory": func() Journal { return NewMemory() },
+		"file": func() Journal {
+			j, err := OpenDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return j
+		},
+	}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			j := open()
+			defer j.Close()
+			want := sampleRecords()
+			for _, r := range want {
+				if err := j.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cp, got, err := j.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp != nil {
+				t.Fatalf("unexpected checkpoint before any was written: %+v", cp)
+			}
+			checkTail(t, got, want)
+			// Payload fidelity on the richest record.
+			if app := got[0].App; app == nil || app.ID != "a" || len(app.Groups) != 1 || len(app.Constraints) != 1 {
+				t.Errorf("submit record lost application payload: %+v", got[0].App)
+			}
+			if a := got[2].Assignments; len(a) != 1 || a[0].Container != "a#0" || a[0].Demand != resource.New(2048, 1) {
+				t.Errorf("place record lost assignments: %+v", got[2].Assignments)
+			}
+		})
+	}
+}
+
+func TestCheckpointCoversTail(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			j := open()
+			defer j.Close()
+			recs := sampleRecords()
+			for _, r := range recs[:4] {
+				if err := j.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.WriteCheckpoint(&Checkpoint{At: t0, Cycles: 1}); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs[4:] {
+				if err := j.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cp, tail, err := j.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp == nil || cp.Seq != 4 || cp.Cycles != 1 {
+				t.Fatalf("checkpoint not restored: %+v", cp)
+			}
+			checkTail(t, tail, recs[4:])
+			if tail[0].Seq != 5 {
+				t.Errorf("tail starts at seq %d, want 5", tail[0].Seq)
+			}
+		})
+	}
+}
+
+func TestFileReopenContinuesSeq(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRecords()[:3] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r := &Record{Kind: KindReject, AppID: "b", At: t0}
+	if err := j2.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 4 {
+		t.Fatalf("reopened journal assigned seq %d, want 4", r.Seq)
+	}
+	_, tail, err := j2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 4 {
+		t.Fatalf("reopened journal lost records: %d, want 4", len(tail))
+	}
+}
+
+// A crash between publishing a checkpoint and rotating the WAL leaves
+// covered records in the log; Load must drop them by Seq instead of
+// replaying them twice.
+func TestFileStaleWALPrefixFiltered(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords()
+	for _, r := range recs[:4] {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn rotation: publish a checkpoint covering seq 4
+	// while the WAL still holds seqs 1-4.
+	b, err := encodeCheckpoint(&Checkpoint{Seq: 4, At: t0, Cycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cp, tail, err := j2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil || cp.Seq != 4 {
+		t.Fatalf("checkpoint not loaded: %+v", cp)
+	}
+	if len(tail) != 0 {
+		t.Fatalf("stale WAL prefix replayed: %d records", len(tail))
+	}
+	// New appends continue after the checkpoint.
+	r := &Record{Kind: KindRemove, AppID: "a", At: t0}
+	if err := j2.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq != 5 {
+		t.Fatalf("append after torn rotation assigned seq %d, want 5", r.Seq)
+	}
+}
+
+func TestClosedJournalRejectsWrites(t *testing.T) {
+	for name, open := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			j := open()
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Append(&Record{Kind: KindSubmit}); err == nil {
+				t.Error("append on closed journal succeeded")
+			}
+			if err := j.WriteCheckpoint(&Checkpoint{}); err == nil {
+				t.Error("checkpoint on closed journal succeeded")
+			}
+		})
+	}
+}

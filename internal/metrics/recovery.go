@@ -41,6 +41,20 @@ type RecoveryStats struct {
 	// DegradedTime accumulates, per LRA, the total time the application
 	// ran below its declared container count.
 	DegradedTime map[string]time.Duration
+
+	// Restart-recovery counters, populated by core.Recover: WAL records
+	// replayed over the checkpoint, containers adopted from in-flight
+	// placement intents or un-acked repairs, half-applied batches sent
+	// back through the pending queue, deployed containers the cluster had
+	// lost (re-queued as repairs), and surviving containers no LRA owns
+	// any more (released). RecoveryWallTime is the end-to-end cost of the
+	// load + replay + reconcile sweep.
+	JournalReplayed   int
+	ContainersAdopted int
+	BatchesReadmitted int
+	ZombiesRequeued   int
+	OrphansReleased   int
+	RecoveryWallTime  time.Duration
 }
 
 // ObserveRepair records one restored repair batch.
@@ -109,6 +123,14 @@ func (r *RecoveryStats) Table(title string) *Table {
 	t.AddRow("repair attempts failed", r.RepairAttemptsFailed)
 	t.AddRow("repairs abandoned", r.RepairsAbandoned)
 	t.AddRow("fallback placements", r.FallbackPlacements)
+	if r.JournalReplayed > 0 || r.RecoveryWallTime > 0 {
+		t.AddRow("journal records replayed", r.JournalReplayed)
+		t.AddRow("containers adopted", r.ContainersAdopted)
+		t.AddRow("batches readmitted", r.BatchesReadmitted)
+		t.AddRow("zombies re-queued", r.ZombiesRequeued)
+		t.AddRow("orphans released", r.OrphansReleased)
+		t.AddRow("recovery wall time", r.RecoveryWallTime)
+	}
 	t.AddRow("repair MTTR", r.MTTR())
 	t.AddRow("repair max latency", r.MaxRepairLatency())
 	t.AddRow("total degraded time", r.TotalDegraded())

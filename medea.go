@@ -30,10 +30,13 @@
 package medea
 
 import (
+	"time"
+
 	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
 	"medea/internal/core"
+	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/metrics"
 	"medea/internal/resource"
@@ -91,6 +94,16 @@ type (
 	TaskRequest = taskched.TaskRequest
 	// QueueConfig declares a capacity-scheduler queue.
 	QueueConfig = taskched.QueueConfig
+	// Journal is the write-ahead log + checkpoint store that makes a
+	// Medea instance's state durable (Medea.AttachJournal, Recover).
+	Journal = journal.Journal
+	// JournalRecord is one write-ahead log entry.
+	JournalRecord = journal.Record
+	// JournalCheckpoint is a full durable-state snapshot.
+	JournalCheckpoint = journal.Checkpoint
+	// ClusterSnapshot is a serialisable image of cluster state (nodes,
+	// groups, allocations, static tags), rebuildable via FromSnapshot.
+	ClusterSnapshot = cluster.Snapshot
 )
 
 // Predefined node groups.
@@ -138,6 +151,26 @@ func NewCluster(numNodes, rackSize int, capacity Vector) *Cluster {
 func New(c *Cluster, alg Algorithm, cfg Config, queues ...QueueConfig) *Medea {
 	return core.New(c, alg, cfg, queues...)
 }
+
+// NewMemoryJournal returns an in-memory journal backend (tests, sims).
+func NewMemoryJournal() *journal.Memory { return journal.NewMemory() }
+
+// OpenJournalDir opens (or creates) a file-backed journal directory
+// holding a line-JSON write-ahead log and the latest checkpoint.
+func OpenJournalDir(dir string) (*journal.File, error) { return journal.OpenDir(dir) }
+
+// Recover rebuilds a scheduler from its journal and the live cluster
+// after a crash: latest checkpoint, write-ahead replay, then a
+// reconciliation sweep against cluster truth (adopt committed in-flight
+// placements, re-queue lost containers, release orphans). The journal is
+// re-attached to the returned instance.
+func Recover(j Journal, c *Cluster, alg Algorithm, cfg Config, now time.Time, queues ...QueueConfig) (*Medea, error) {
+	return core.Recover(j, c, alg, cfg, now, queues...)
+}
+
+// FromSnapshot rebuilds a cluster from a snapshot taken with
+// Cluster.TakeSnapshot (e.g. the one embedded in a checkpoint).
+func FromSnapshot(s *ClusterSnapshot) (*Cluster, error) { return cluster.FromSnapshot(s) }
 
 // ILP returns the Medea-ILP scheduling algorithm (§5.2).
 func ILP() Algorithm { return lra.NewILP() }
