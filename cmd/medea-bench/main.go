@@ -1,0 +1,275 @@
+// Command medea-bench measures the parallel placement engine and emits
+// machine-readable benchmark artifacts: BENCH_ilp.json for the raw
+// branch-and-bound solver and BENCH_pipeline.json for the end-to-end
+// scheduling cycle. Each suite runs at every requested CPU count
+// (GOMAXPROCS and solver workers move together), so the artifacts
+// record the parallel scaling curve alongside ns/op, allocs/op and the
+// solver deadline-hit rate.
+//
+// With -gate the binary enforces the CI speedup regression gate: the
+// large pipeline fixture at the highest CPU count must be at least
+// -speedup times faster than at one CPU. The gate auto-skips on hosts
+// with fewer physical CPUs than the gated count — a single-core
+// container cannot exhibit parallel speedup, and failing there would
+// only punish the wrong machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/constraint"
+	"medea/internal/core"
+	"medea/internal/ilp"
+	"medea/internal/lra"
+	"medea/internal/resource"
+)
+
+type benchResult struct {
+	CPU             int     `json:"cpu"`
+	Workers         int     `json:"workers"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	Iterations      int     `json:"iterations"`
+	DeadlineHitRate float64 `json:"deadline_hit_rate"`
+}
+
+type benchFile struct {
+	Benchmark string        `json:"benchmark"`
+	Fixture   string        `json:"fixture"`
+	NumCPU    int           `json:"num_cpu"`
+	Count     int           `json:"count"`
+	Results   []benchResult `json:"results"`
+}
+
+// ilpFixture builds the solver benchmark model: a strongly correlated
+// 0/1 knapsack (profit = weight + constant, capacity = half the total
+// weight). The LP bound is nearly flat across subtrees, so the search
+// genuinely explores the frontier — exactly the shape the parallel
+// worker pool exists for.
+func ilpFixture() (*ilp.Model, int) {
+	const n = 34
+	m := ilp.NewModel(ilp.Maximize)
+	terms := make([]ilp.Term, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		v := m.Binary("x")
+		w := float64(13 + (j*7919)%37)
+		m.SetObjective(v, w+10)
+		terms[j] = ilp.T(w, v)
+		total += w
+	}
+	m.AddLE("cap", float64(int(total/2)), terms...)
+	return m, n
+}
+
+// benchILP times one full solve of the knapsack fixture per iteration.
+func benchILP(workers, count int) benchResult {
+	m, _ := ilpFixture()
+	best := benchResult{Workers: workers}
+	for c := 0; c < count; c++ {
+		iters, hits := 0, 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sol := m.Solve(ilp.Options{Workers: workers, MaxNodes: 200000})
+				iters++
+				if sol.DeadlineHit {
+					hits++
+				}
+				if sol.Status != ilp.Optimal {
+					b.Fatalf("fixture solve ended %v, want Optimal", sol.Status)
+				}
+			}
+		})
+		res := benchResult{
+			Workers:     workers,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if iters > 0 {
+			res.DeadlineHitRate = float64(hits) / float64(iters)
+		}
+		if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	return best
+}
+
+// pipelineApp is one LRA of the pipeline fixture: four containers that
+// must spread across nodes, tagged per app so the union-find partition
+// sees independent components and solves them concurrently.
+func pipelineApp(i int) *lra.Application {
+	id := fmt.Sprintf("svc-%02d", i)
+	self := constraint.E(constraint.AppIDTag(id))
+	return &lra.Application{
+		ID: id,
+		Groups: []lra.ContainerGroup{{
+			Name: "w", Count: 4, Demand: resource.New(200, 4),
+			Tags: []constraint.Tag{constraint.Tag(fmt.Sprintf("t%d", i))},
+		}},
+		Constraints: []constraint.Constraint{
+			constraint.New(constraint.AntiAffinity(self, self, constraint.Node)),
+		},
+	}
+}
+
+// benchPipeline times one full scheduling cycle — cluster build, batch
+// submission and RunCycle over 12 independent ILP sub-batches on a
+// 64-node grid — per iteration. This is the "large fixture" the CI
+// speedup gate compares across CPU counts.
+func benchPipeline(workers, count int) benchResult {
+	best := benchResult{Workers: workers}
+	for c := 0; c < count; c++ {
+		iters, hits := 0, 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl := cluster.Grid(64, 4, resource.New(4000, 64))
+				m := core.New(cl, lra.NewILP(), core.Config{
+					Interval: time.Second,
+					Options:  lra.Options{Workers: workers, SolverBudget: 30 * time.Second},
+				})
+				now := time.Unix(0, 0)
+				for a := 0; a < 12; a++ {
+					if err := m.SubmitLRA(pipelineApp(a), now); err != nil {
+						b.Fatalf("submit: %v", err)
+					}
+				}
+				now = now.Add(time.Second)
+				stats := m.RunCycle(now)
+				if stats.Placed != 12 {
+					b.Fatalf("cycle placed %d/12", stats.Placed)
+				}
+				iters++
+				if m.Pipeline.DeadlineHits() > 0 {
+					hits++
+				}
+			}
+		})
+		res := benchResult{
+			Workers:     workers,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if iters > 0 {
+			res.DeadlineHitRate = float64(hits) / float64(iters)
+		}
+		if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	return best
+}
+
+func writeJSON(dir, name string, f benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}
+
+func parseCPUs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	cpuList := flag.String("cpu", "1,4,8", "comma-separated CPU counts to benchmark at")
+	count := flag.Int("count", 3, "runs per configuration; the best (lowest ns/op) is kept")
+	gate := flag.Bool("gate", false, "enforce the parallel speedup gate on the pipeline fixture")
+	minSpeedup := flag.Float64("speedup", 2.0, "required speedup of the highest CPU count over 1 CPU")
+	outDir := flag.String("out", ".", "directory for BENCH_*.json artifacts")
+	flag.Parse()
+
+	cpus, err := parseCPUs(*cpuList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	suites := []struct {
+		name, file, fixture string
+		run                 func(workers, count int) benchResult
+	}{
+		{"ilp-solve", "BENCH_ilp.json", "correlated 0/1 knapsack, 34 vars, full solve", benchILP},
+		{"pipeline-cycle", "BENCH_pipeline.json",
+			"64-node grid, 12 anti-affinity LRAs, build + one RunCycle", benchPipeline},
+	}
+
+	var pipeline []benchResult
+	for _, s := range suites {
+		f := benchFile{Benchmark: s.name, Fixture: s.fixture, NumCPU: runtime.NumCPU(), Count: *count}
+		for _, cpu := range cpus {
+			runtime.GOMAXPROCS(cpu)
+			res := s.run(cpu, *count)
+			res.CPU = cpu
+			f.Results = append(f.Results, res)
+			fmt.Printf("%-15s cpu=%d  %12d ns/op  %8d allocs/op  deadline-hit %.2f\n",
+				s.name, cpu, res.NsPerOp, res.AllocsPerOp, res.DeadlineHitRate)
+		}
+		runtime.GOMAXPROCS(prev)
+		if err := writeJSON(*outDir, s.file, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if s.name == "pipeline-cycle" {
+			pipeline = f.Results
+		}
+	}
+
+	if *gate {
+		hi := cpus[len(cpus)-1]
+		if runtime.NumCPU() < hi {
+			fmt.Printf("gate: skipped — host has %d CPUs, gate needs %d to be meaningful\n",
+				runtime.NumCPU(), hi)
+			return
+		}
+		var base, top int64
+		for _, r := range pipeline {
+			if r.CPU == 1 {
+				base = r.NsPerOp
+			}
+			if r.CPU == hi {
+				top = r.NsPerOp
+			}
+		}
+		if base == 0 || top == 0 {
+			fmt.Fprintln(os.Stderr, "gate: -cpu list must include 1 and the gated count")
+			os.Exit(2)
+		}
+		speedup := float64(base) / float64(top)
+		if speedup < *minSpeedup {
+			fmt.Fprintf(os.Stderr, "gate: FAIL — pipeline speedup at %d CPUs is %.2fx, need >= %.2fx\n",
+				hi, speedup, *minSpeedup)
+			os.Exit(1)
+		}
+		fmt.Printf("gate: OK — pipeline speedup at %d CPUs is %.2fx\n", hi, speedup)
+	}
+}

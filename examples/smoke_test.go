@@ -1,0 +1,42 @@
+// Package examples holds runnable demos; this smoke test keeps them
+// compiling and running in CI. Each example is executed via `go run`
+// exactly as the README instructs, and must exit zero and print the
+// landmark line that proves it got past its real work — examples are
+// documentation, and documentation that silently rots is worse than
+// none.
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	cases := []struct {
+		dir  string
+		want string // landmark output proving the example did its job
+	}{
+		{"quickstart", "cycle: batch=1 placed=1"},
+		{"hbase-placement", "avg collocated region servers"},
+		{"mixed-cluster", "LRAs placed: 10/10"},
+		{"resilience", "repair MTTR"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			start := time.Now()
+			cmd := exec.Command("go", "run", "./"+tc.dir)
+			cmd.Dir = "." // the examples/ directory; go run resolves inside the module
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s failed after %v: %v\n%s", tc.dir, time.Since(start), err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("go run ./%s output lacks %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

@@ -60,23 +60,6 @@ func TestManagerActiveOrderDeterministic(t *testing.T) {
 	}
 }
 
-func TestManagerConcurrency(t *testing.T) {
-	m := NewManager()
-	var wg sync.WaitGroup
-	for i := 0; i < 16; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			appID := string(rune('a' + i%4))
-			_ = m.AddApplication(appID, New(Affinity(E("s"), E("t"), Node)))
-			_ = m.Active()
-			_ = m.Len()
-			m.RemoveApplication(appID)
-		}(i)
-	}
-	wg.Wait()
-}
-
 // TestResolveConflicts covers §5.2: an operator constraint of "no more
 // than 3 spark per rack" overrides an application's "no more than 5",
 // because it is more restrictive; a *less* restrictive operator constraint
@@ -108,4 +91,90 @@ func TestResolveConflicts(t *testing.T) {
 	if a.Max != 5 {
 		t.Errorf("cross-group override happened: cmax = %d", a.Max)
 	}
+}
+
+// TestManagerConcurrency hammers every Manager method from concurrent
+// goroutines. It asserts nothing beyond internal consistency of the
+// final state — its real job is to run under `go test -race` and prove
+// the RWMutex discipline covers all public entry points, since the
+// parallel placement pipeline reads Active/Application while the
+// submission path mutates the registry.
+func TestManagerConcurrency(t *testing.T) {
+	m := NewManager()
+	const writers = 8
+	const perWriter = 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := appID(w, i)
+				if err := m.AddApplication(id, New(Affinity(E("a"), E("b"), Node))); err != nil {
+					t.Errorf("AddApplication(%s): %v", id, err)
+					return
+				}
+				if i%3 == 0 {
+					m.RemoveApplication(id)
+				}
+				if i%7 == 0 {
+					if err := m.AddOperator(New(AntiAffinity(E("x"), E("x"), Node))); err != nil {
+						t.Errorf("AddOperator: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Concurrent readers exercise the RLock paths while writers mutate.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = m.Active()
+				_ = m.Apps()
+				_ = m.Len()
+				_ = m.Operator()
+				_ = m.Application(appID(0, i%perWriter))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every writer kept the apps with i%3 != 0; the rest were removed.
+	// Each kept app carries one constraint, and every i%7 == 0 iteration
+	// added one operator constraint; Len() counts both kinds.
+	kept, wantOps := 0, 0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if i%3 != 0 {
+				kept++
+			}
+			if i%7 == 0 {
+				wantOps++
+			}
+		}
+	}
+	if got := m.Len(); got != kept+wantOps {
+		t.Errorf("Len() = %d after concurrent add/remove, want %d", got, kept+wantOps)
+	}
+	if got := len(m.Apps()); got != kept {
+		t.Errorf("len(Apps()) = %d, want %d", got, kept)
+	}
+	ops := 0
+	for _, e := range m.Active() {
+		if e.Source == SourceOperator {
+			ops++
+		}
+	}
+	if ops != wantOps {
+		t.Errorf("operator entries = %d, want %d", ops, wantOps)
+	}
+}
+
+func appID(w, i int) string {
+	return "app-" + string(rune('a'+w)) + "-" + string(rune('0'+i/10)) + string(rune('0'+i%10))
 }

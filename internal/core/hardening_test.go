@@ -76,25 +76,25 @@ func TestByzantineAlgorithm(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		runCycle(i)
 	}
-	if m.Pipeline.BreakerTrips == 0 {
-		t.Fatalf("breaker never tripped: %+v", m.Pipeline)
+	if m.Pipeline.BreakerTrips() == 0 {
+		t.Fatalf("breaker never tripped: events %v", m.Pipeline.Events())
 	}
-	if !sawDegraded || m.Pipeline.DegradedCycles == 0 {
+	if !sawDegraded || m.Pipeline.DegradedCycles() == 0 {
 		t.Fatal("no cycle ran on the degradation ladder")
 	}
-	if m.Pipeline.PanicsRecovered == 0 {
+	if m.Pipeline.PanicsRecovered() == 0 {
 		t.Fatal("no panic was recovered")
 	}
-	if m.Pipeline.LastPanic == "" {
+	if m.Pipeline.LastPanic() == "" {
 		t.Fatal("recovered panic left no stack in metrics")
 	}
-	if m.Pipeline.ValidationRejects == 0 {
+	if m.Pipeline.ValidationRejects() == 0 {
 		t.Fatal("no placement was rejected by commit-time validation")
 	}
-	if m.Pipeline.SolverExhaustions == 0 {
+	if m.Pipeline.SolverExhaustions() == 0 {
 		t.Fatalf("exhaustion fault never surfaced: injected %d faults", byz.Injected)
 	}
-	if m.Pipeline.BreakerReopens == 0 {
+	if m.Pipeline.BreakerReopens() == 0 {
 		t.Fatal("half-open probes never failed while the algorithm was still broken")
 	}
 	// Degraded cycles still make progress: the heuristic rungs place the
@@ -110,12 +110,12 @@ func TestByzantineAlgorithm(t *testing.T) {
 	var last CycleStats
 	for i := 20; i < 35; i++ {
 		last = runCycle(i)
-		if m.Pipeline.BreakerResets > 0 && last.Level == 0 {
+		if m.Pipeline.BreakerResets() > 0 && last.Level == 0 {
 			break
 		}
 	}
-	if m.Pipeline.BreakerResets == 0 {
-		t.Fatalf("breaker never reset after the algorithm healed: events %v", m.Pipeline.Events)
+	if m.Pipeline.BreakerResets() == 0 {
+		t.Fatalf("breaker never reset after the algorithm healed: events %v", m.Pipeline.Events())
 	}
 	if last.Level != 0 {
 		t.Fatalf("last cycle still degraded (level %d)", last.Level)
@@ -130,7 +130,7 @@ func TestByzantineAlgorithm(t *testing.T) {
 	// The transition log tells the whole story: at least one trip, one
 	// reopen and one reset, in order.
 	var trips, reopens, resets int
-	for _, e := range m.Pipeline.Events {
+	for _, e := range m.Pipeline.Events() {
 		switch {
 		case e.From == "closed" && e.To == "open":
 			trips++
@@ -142,7 +142,7 @@ func TestByzantineAlgorithm(t *testing.T) {
 	}
 	if trips == 0 || reopens == 0 || resets == 0 {
 		t.Fatalf("transition log incomplete (trips=%d reopens=%d resets=%d): %v",
-			trips, reopens, resets, m.Pipeline.Events)
+			trips, reopens, resets, m.Pipeline.Events())
 	}
 }
 
@@ -195,7 +195,7 @@ func TestBreakerDisabled(t *testing.T) {
 			t.Fatalf("cycle %d ran %q at level %d with the breaker disabled", i, stats.Algorithm, stats.Level)
 		}
 	}
-	if m.Pipeline.BreakerTrips != 0 {
-		t.Fatalf("disabled breaker tripped %d times", m.Pipeline.BreakerTrips)
+	if m.Pipeline.BreakerTrips() != 0 {
+		t.Fatalf("disabled breaker tripped %d times", m.Pipeline.BreakerTrips())
 	}
 }

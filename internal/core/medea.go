@@ -12,6 +12,7 @@ import (
 	"math"
 	"runtime/debug"
 	"sort"
+	"sync"
 	"time"
 
 	"medea/internal/audit"
@@ -495,12 +496,73 @@ func (m *Medea) activeExcluding(exclude map[string]bool) []constraint.Entry {
 func (m *Medea) safePlace(alg lra.Algorithm, apps []*lra.Application, active []constraint.Entry) (res *lra.Result) {
 	defer func() {
 		if r := recover(); r != nil {
-			m.Pipeline.PanicsRecovered++
-			m.Pipeline.LastPanic = fmt.Sprintf("%s: %v\n%s", alg.Name(), r, debug.Stack())
+			m.Pipeline.RecordPanic(fmt.Sprintf("%s: %v\n%s", alg.Name(), r, debug.Stack()))
 			res = nil
 		}
 	}()
 	return alg.Place(m.Cluster, apps, active, m.cfg.Options)
+}
+
+// placeBatch places one cycle's batch. Constraint-independent sub-batches
+// (disjoint tag footprints, detected by partitionBatch's union-find) are
+// solved concurrently — each solve sees the same pre-cycle cluster state —
+// and the per-component results are merged back in submission order, so
+// the outcome is identical for every worker count and GOMAXPROCS setting.
+// Capacity conflicts the split cannot see are absorbed downstream by
+// commit-time validation and the §5.4 requeue path, in deterministic
+// submission order. A panic in ANY component fails the cycle whole
+// (matching the single-call contract), and algorithms that declare
+// themselves SequentialPlacer place the whole batch in one call.
+func (m *Medea) placeBatch(alg lra.Algorithm, apps []*lra.Application, active []constraint.Entry) *lra.Result {
+	comps := partitionBatch(apps, active)
+	if seq, ok := alg.(lra.SequentialPlacer); len(comps) <= 1 || (ok && seq.PlaceSequentially()) {
+		return m.safePlace(alg, apps, active)
+	}
+	results := make([]*lra.Result, len(comps))
+	solve := func(ci int) {
+		sub := make([]*lra.Application, len(comps[ci]))
+		for k, i := range comps[ci] {
+			sub[k] = apps[i]
+		}
+		results[ci] = m.safePlace(alg, sub, active)
+	}
+	if workers := m.cfg.Options.Workers; workers == 1 {
+		for ci := range comps {
+			solve(ci)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for ci := range comps {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				solve(ci)
+			}(ci)
+		}
+		wg.Wait()
+	}
+	merged := &lra.Result{Placements: make([]lra.Placement, len(apps))}
+	for ci, comp := range comps {
+		r := results[ci]
+		if r == nil {
+			return nil // component panicked: fail the cycle whole
+		}
+		if len(r.Placements) != len(comp) {
+			// Malformed component result: surface an empty (wrong-shaped)
+			// result so RunCycle's shape validation requeues the batch.
+			return &lra.Result{Latency: r.Latency}
+		}
+		for k, i := range comp {
+			merged.Placements[i] = r.Placements[k]
+		}
+		if r.Latency > merged.Latency {
+			merged.Latency = r.Latency // components ran concurrently: wall-clock is the max
+		}
+		merged.DeadlineHit = merged.DeadlineHit || r.DeadlineHit
+		merged.Exhausted = merged.Exhausted || r.Exhausted
+		merged.Invalid = merged.Invalid || r.Invalid
+	}
+	return merged
 }
 
 // appEntries wraps an application's own constraints as entries, for
@@ -575,11 +637,11 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	stats.Algorithm = alg.Name()
 	stats.Level = level
 	if level > 0 {
-		m.Pipeline.DegradedCycles++
+		m.Pipeline.AddDegradedCycle()
 	}
 
 	failed, reason := false, ""
-	res := m.safePlace(alg, apps, active)
+	res := m.placeBatch(alg, apps, active)
 	switch {
 	case res == nil:
 		// Panic: not the batch's fault — requeue it whole, retries
@@ -593,9 +655,8 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	case len(res.Placements) != len(batch):
 		// Malformed result shape; indexing it would corrupt accounting.
 		failed, reason = true, "validation"
-		m.Pipeline.ValidationRejects++
-		m.Pipeline.LastReject = fmt.Sprintf("%s returned %d placements for a batch of %d",
-			alg.Name(), len(res.Placements), len(batch))
+		m.Pipeline.RecordValidationReject(fmt.Sprintf("%s returned %d placements for a batch of %d",
+			alg.Name(), len(res.Placements), len(batch)))
 		stats.ValidationRejects++
 		m.pending = append(m.pending, batch...)
 		stats.Requeued += len(batch)
@@ -604,14 +665,14 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 		stats.AlgLatency = res.Latency
 		stats.DeadlineHit = res.DeadlineHit
 		if res.DeadlineHit {
-			m.Pipeline.DeadlineHits++
+			m.Pipeline.AddDeadlineHit()
 		}
 		if res.Exhausted {
-			m.Pipeline.SolverExhaustions++
+			m.Pipeline.AddSolverExhaustion()
 			failed, reason = true, "exhausted"
 		}
 		if res.Invalid {
-			m.Pipeline.InvalidModels++
+			m.Pipeline.AddInvalidModel()
 			failed, reason = true, "invalid-model"
 		}
 		// entries accumulates the constraints visible to validation:
@@ -631,8 +692,7 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 				// The algorithm proposed an inadmissible placement:
 				// reject it before it corrupts cluster state.
 				failed, reason = true, "validation"
-				m.Pipeline.ValidationRejects++
-				m.Pipeline.LastReject = err.Error()
+				m.Pipeline.RecordValidationReject(err.Error())
 				stats.ValidationRejects++
 				m.requeueOrReject(pa, now, &stats)
 				continue
@@ -712,8 +772,7 @@ func (m *Medea) auditCycle() {
 		return
 	}
 	if err := m.CheckInvariants(); err != nil {
-		m.Pipeline.InvariantViolations++
-		m.Pipeline.LastViolation = err.Error()
+		m.Pipeline.RecordInvariantViolation(err.Error())
 		if m.cfg.Audit == audit.FailFast {
 			panic(fmt.Sprintf("medea: invariant violation after cycle %d: %v", m.cycles, err))
 		}

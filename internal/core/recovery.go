@@ -332,8 +332,7 @@ func (m *Medea) attemptRepair(r *repairReq, dep *deployment, now time.Time, stat
 			// remapped one): capacity, health, duplicates and hard
 			// constraints, exactly like initial placements.
 			if err := audit.CheckAssignments(m.Cluster, r.appID, remapped, m.Constraints.Active(), m.cfg.hardWeight()); err != nil {
-				m.Pipeline.ValidationRejects++
-				m.Pipeline.LastReject = err.Error()
+				m.Pipeline.RecordValidationReject(err.Error())
 				stats.ValidationRejects++
 				restored = false
 			}

@@ -101,8 +101,8 @@ func RunHardening(o Options) *metrics.Table {
 		}
 		p := &m.Pipeline
 		tab.AddRow(onOff(withBreaker), chaosCycles+healCycles, deployedDuringChaos,
-			m.DeployedLRAs(), p.PanicsRecovered, p.ValidationRejects, p.SolverExhaustions,
-			p.BreakerTrips, p.BreakerReopens, p.BreakerResets, p.DegradedCycles,
+			m.DeployedLRAs(), p.PanicsRecovered(), p.ValidationRejects(), p.SolverExhaustions(),
+			p.BreakerTrips(), p.BreakerReopens(), p.BreakerResets(), p.DegradedCycles(),
 			last.Algorithm)
 	}
 	return tab

@@ -13,6 +13,9 @@ type Options struct {
 	// MaxNodes bounds the number of explored nodes (0 = 200000).
 	MaxNodes int
 	// RelGap stops when (bound-incumbent)/max(1,|incumbent|) is below it.
+	// The parallel solver applies it as deterministic bound pruning: nodes
+	// that cannot improve the incumbent by more than the gap are cut, so a
+	// returned Optimal is "optimal within RelGap".
 	RelGap float64
 	// WarmStart optionally supplies values for the integer variables of a
 	// known-feasible solution. The solver fixes them, solves one LP for
@@ -20,7 +23,21 @@ type Options struct {
 	// incumbent — branch-and-bound then only ever improves on it. An
 	// infeasible warm start is ignored.
 	WarmStart map[Var]float64
+	// Workers is the number of concurrent subtree workers of the parallel
+	// branch-and-bound (0 = runtime.NumCPU()). The search is deterministic
+	// by construction: the frontier fanned out to the pool is fixed ahead
+	// of time and the best-solution selection tie-breaks on objective,
+	// then lexicographic variable assignment, so the returned solution is
+	// identical for every worker count. Sequential solving (Workers == 1)
+	// runs the same algorithm on one goroutine.
+	Workers int
 }
+
+// tolObj is the shared-incumbent pruning guard: a subtree node is pruned
+// on another worker's incumbent only when its bound is worse by more than
+// this margin, so float noise in LP bounds cannot make tie-for-best
+// solutions appear in one run and vanish in another.
+const tolObj = 1e-9
 
 type bbNode struct {
 	lo, hi []float64
@@ -28,26 +45,33 @@ type bbNode struct {
 	depth  int
 }
 
-// Solve optimises the model. Continuous models solve with one simplex
-// call; integer models run branch-and-bound on the LP relaxation. A model
-// that fails Check returns Invalid without solving.
-func (m *Model) Solve(opts Options) *Solution {
-	if err := m.Check(); err != nil {
-		return &Solution{Status: Invalid}
+// better reports whether objective a improves on b under the sense.
+func (m *Model) better(a, b float64) bool {
+	if m.sense == Maximize {
+		return a > b
 	}
-	maxNodes := opts.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 200000
+	return a < b
+}
+
+// worst returns the sentinel objective no feasible solution can have.
+func (m *Model) worst() float64 {
+	if m.sense == Maximize {
+		return math.Inf(-1)
 	}
+	return math.Inf(1)
+}
+
+// rootBounds returns the model's variable bounds with integer bounds
+// tightened to the nearest integers, plus whether any integer variable
+// exists.
+func (m *Model) rootBounds() (lo, hi []float64, hasInt bool) {
 	n := len(m.vars)
-	lo := make([]float64, n)
-	hi := make([]float64, n)
-	hasInt := false
+	lo = make([]float64, n)
+	hi = make([]float64, n)
 	for j, v := range m.vars {
 		lo[j], hi[j] = v.lo, v.hi
 		if v.integer {
 			hasInt = true
-			// Tighten integer bounds immediately.
 			if !math.IsInf(lo[j], -1) {
 				lo[j] = math.Ceil(lo[j] - tolInt)
 			}
@@ -56,6 +80,91 @@ func (m *Model) Solve(opts Options) *Solution {
 			}
 		}
 	}
+	return lo, hi, hasInt
+}
+
+// warmIncumbent evaluates Options.WarmStart: it fixes the supplied
+// integer values, solves one LP for the remainder and returns the
+// resulting incumbent. ok is false when the warm start is absent, out of
+// range or infeasible.
+func (m *Model) warmIncumbent(opts Options, lo, hi []float64) (obj float64, x []float64, ok bool) {
+	if opts.WarmStart == nil {
+		return 0, nil, false
+	}
+	n := len(m.vars)
+	wlo, whi := clone(lo), clone(hi)
+	for v, val := range opts.WarmStart {
+		j := int(v)
+		if j < 0 || j >= n {
+			return 0, nil, false
+		}
+		if val < wlo[j]-tolFeas || val > whi[j]+tolFeas {
+			return 0, nil, false
+		}
+		wlo[j], whi[j] = val, val
+	}
+	if res := solveLP(m, wlo, whi, opts.Deadline); res.status == Optimal && m.integral(res.x) {
+		return res.obj, m.snap(res.x), true
+	}
+	return 0, nil, false
+}
+
+// branchVariable picks the most fractional integer variable of x, or -1
+// when x is integer feasible.
+func (m *Model) branchVariable(x []float64) int {
+	branchVar, frac := -1, 0.0
+	for j, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > tolInt && d > frac {
+			frac = d
+			branchVar = j
+		}
+	}
+	return branchVar
+}
+
+// branch splits nd on variable j at value v into the two child
+// subproblems, ordered so the more promising child (closer rounding) is
+// popped first off a LIFO stack.
+func branch(nd bbNode, j int, v, bound float64) (first, second bbNode) {
+	fl, ce := math.Floor(v), math.Ceil(v)
+	down := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: bound, depth: nd.depth + 1}
+	down.hi[j] = math.Min(down.hi[j], fl)
+	up := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: bound, depth: nd.depth + 1}
+	up.lo[j] = math.Max(up.lo[j], ce)
+	if v-fl >= 0.5 {
+		return down, up
+	}
+	return up, down
+}
+
+// Solve optimises the model. Continuous models solve with one simplex
+// call; integer models run the deterministic parallel branch-and-bound
+// (see solveParallel). A model that fails Check returns Invalid without
+// solving.
+func (m *Model) Solve(opts Options) *Solution {
+	return m.solveParallel(opts)
+}
+
+// SolveSequential runs the original single-threaded depth-first
+// branch-and-bound. It is kept as the reference implementation for the
+// differential oracle tests that pin the parallel solver's objectives,
+// and for callers that want the classic first-within-gap RelGap
+// semantics.
+func (m *Model) SolveSequential(opts Options) *Solution {
+	if err := m.Check(); err != nil {
+		return &Solution{Status: Invalid}
+	}
+	m.prepare()
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = defaultMaxNodes
+	}
+	lo, hi, hasInt := m.rootBounds()
 
 	root := solveLP(m, lo, hi, opts.Deadline)
 	if root.status == statusDeadline {
@@ -68,41 +177,10 @@ func (m *Model) Solve(opts Options) *Solution {
 		return &Solution{Status: Optimal, Objective: root.obj, values: m.snap(root.x), Nodes: 1}
 	}
 
-	// better reports whether objective a improves on b under the sense.
-	better := func(a, b float64) bool {
-		if m.sense == Maximize {
-			return a > b
-		}
-		return a < b
-	}
-	worstObj := math.Inf(1)
-	if m.sense == Maximize {
-		worstObj = math.Inf(-1)
-	}
-
-	incumbent := worstObj
+	incumbent := m.worst()
 	var incumbentX []float64
-	if opts.WarmStart != nil {
-		wlo, whi := clone(lo), clone(hi)
-		valid := true
-		for v, val := range opts.WarmStart {
-			j := int(v)
-			if j < 0 || j >= n {
-				valid = false
-				break
-			}
-			if val < wlo[j]-tolFeas || val > whi[j]+tolFeas {
-				valid = false
-				break
-			}
-			wlo[j], whi[j] = val, val
-		}
-		if valid {
-			if res := solveLP(m, wlo, whi, opts.Deadline); res.status == Optimal && m.integral(res.x) {
-				incumbent = res.obj
-				incumbentX = m.snap(res.x)
-			}
-		}
+	if obj, x, ok := m.warmIncumbent(opts, lo, hi); ok {
+		incumbent, incumbentX = obj, x
 	}
 	nodes := 0
 	stack := []bbNode{{lo: lo, hi: hi, bound: root.obj, depth: 0}}
@@ -120,7 +198,7 @@ func (m *Model) Solve(opts Options) *Solution {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		// Bound pruning against the incumbent.
-		if incumbentX != nil && !better(nd.bound, incumbent) {
+		if incumbentX != nil && !m.better(nd.bound, incumbent) {
 			continue
 		}
 		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
@@ -132,25 +210,13 @@ func (m *Model) Solve(opts Options) *Solution {
 		if res.status != Optimal {
 			continue // infeasible (or numerically bad) subtree
 		}
-		if incumbentX != nil && !better(res.obj, incumbent) {
+		if incumbentX != nil && !m.better(res.obj, incumbent) {
 			continue
 		}
-		// Pick the most fractional integer variable.
-		branchVar, frac := -1, 0.0
-		for j, v := range m.vars {
-			if !v.integer {
-				continue
-			}
-			f := res.x[j] - math.Floor(res.x[j])
-			d := math.Min(f, 1-f)
-			if d > tolInt && d > frac {
-				frac = d
-				branchVar = j
-			}
-		}
+		branchVar := m.branchVariable(res.x)
 		if branchVar < 0 {
 			// Integer feasible.
-			if incumbentX == nil || better(res.obj, incumbent) {
+			if incumbentX == nil || m.better(res.obj, incumbent) {
 				incumbent = res.obj
 				incumbentX = m.snap(res.x)
 				if opts.RelGap > 0 {
@@ -162,19 +228,10 @@ func (m *Model) Solve(opts Options) *Solution {
 			}
 			continue
 		}
-		v := res.x[branchVar]
-		fl, ce := math.Floor(v), math.Ceil(v)
-		down := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: res.obj, depth: nd.depth + 1}
-		down.hi[branchVar] = math.Min(down.hi[branchVar], fl)
-		up := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: res.obj, depth: nd.depth + 1}
-		up.lo[branchVar] = math.Max(up.lo[branchVar], ce)
+		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
 		// DFS: push the less promising child first so the more promising
 		// (closer rounding) is explored next.
-		if v-fl >= 0.5 {
-			stack = append(stack, down, up)
-		} else {
-			stack = append(stack, up, down)
-		}
+		stack = append(stack, second, first)
 	}
 
 	switch {
@@ -215,6 +272,20 @@ func (m *Model) snap(x []float64) []float64 {
 }
 
 func clone(x []float64) []float64 { return append([]float64(nil), x...) }
+
+// lexLess reports whether a precedes b lexicographically; it is the
+// deterministic tie-break between equal-objective solutions.
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
 
 // CheckFeasible verifies that an assignment satisfies all bounds,
 // integrality and constraints within tolerance; used by tests and by

@@ -59,6 +59,64 @@ type Model struct {
 	vars  []varDef
 	cons  []conDef
 	errs  []error
+	// prep is the cached CSR constraint matrix, built once per solve by
+	// prepare() and shared read-only by all branch-and-bound workers.
+	// Mutating the model (addVar/addCon) invalidates it.
+	prep *prepared
+}
+
+// prepared is the constraint matrix in compressed sparse row form: the
+// terms of constraint i occupy cols/coefs[rowStart[i]:rowStart[i+1]].
+// Branch-and-bound solves thousands of LP relaxations of the SAME
+// constraint rows with different variable bounds; flattening the per-
+// constraint term slices into three contiguous arrays removes the
+// pointer-chasing from every row-assembly pass and gives the parallel
+// workers an immutable shared structure instead of per-solve rebuilds.
+type prepared struct {
+	rowStart []int
+	cols     []int
+	coefs    []float64
+	conLo    []float64
+	conHi    []float64
+}
+
+// prepare builds (or reuses) the CSR constraint matrix. It must be
+// called before worker goroutines start: the workers treat the result as
+// immutable and never write it.
+func (m *Model) prepare() *prepared {
+	if m.prep != nil {
+		return m.prep
+	}
+	m.prep = buildPrepared(m)
+	return m.prep
+}
+
+// buildPrepared flattens m.cons into CSR form without touching m.prep,
+// so callers that reach solveLP without a prior prepare() (direct LP
+// tests) can build a local copy race-free.
+func buildPrepared(m *Model) *prepared {
+	nTerms := 0
+	for i := range m.cons {
+		nTerms += len(m.cons[i].terms)
+	}
+	p := &prepared{
+		rowStart: make([]int, len(m.cons)+1),
+		cols:     make([]int, 0, nTerms),
+		coefs:    make([]float64, 0, nTerms),
+		conLo:    make([]float64, len(m.cons)),
+		conHi:    make([]float64, len(m.cons)),
+	}
+	for i := range m.cons {
+		c := &m.cons[i]
+		p.rowStart[i] = len(p.cols)
+		for _, t := range c.terms {
+			p.cols = append(p.cols, int(t.Var))
+			p.coefs = append(p.coefs, t.Coeff)
+		}
+		p.conLo[i], p.conHi[i] = c.lo, c.hi
+	}
+	p.rowStart[len(m.cons)] = len(p.cols)
+	return p
 }
 
 // NewModel returns an empty model with the given objective sense.
@@ -87,6 +145,7 @@ func (m *Model) addVar(name string, lo, hi float64, integer bool) Var {
 		m.errs = append(m.errs, fmt.Errorf("ilp: variable %s has NaN bound [%v,%v]", name, lo, hi))
 	}
 	m.vars = append(m.vars, varDef{name: name, lo: lo, hi: hi, integer: integer})
+	m.prep = nil
 	return Var(len(m.vars) - 1)
 }
 
@@ -132,6 +191,7 @@ func (m *Model) addCon(name string, lo, hi float64, terms []Term) {
 		}
 	}
 	m.cons = append(m.cons, conDef{name: name, terms: append([]Term(nil), terms...), lo: lo, hi: hi})
+	m.prep = nil
 }
 
 // Check reports the defects accumulated while building the model: inverted

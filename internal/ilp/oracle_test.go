@@ -1,0 +1,201 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleOpts are the settings under which the parallel solver's contract
+// is exact: no deadline, no gap, a node budget generous enough that the
+// small oracle models always solve to proven optimality.
+func oracleOpts(workers int) Options {
+	return Options{MaxNodes: 50000, Workers: workers}
+}
+
+// checkAgainstSequential solves the model with both engines and fails
+// unless they return agreeing feasibility verdicts and — when both prove
+// optimality — exactly equal objectives. The oracle models use small
+// integer coefficients over binary variables, so equal objectives are
+// exact float sums and the comparison needs no tolerance.
+func checkAgainstSequential(t *testing.T, m *Model, label string) {
+	t.Helper()
+	seq := m.SolveSequential(oracleOpts(1))
+	par := m.Solve(oracleOpts(4))
+
+	feasible := func(s Status) bool { return s == Optimal || s == Feasible }
+	switch {
+	case feasible(seq.Status) != feasible(par.Status):
+		t.Fatalf("%s: feasibility verdicts disagree: sequential %v, parallel %v",
+			label, seq.Status, par.Status)
+	case seq.Status == Infeasible && par.Status != Infeasible,
+		seq.Status == Invalid && par.Status != Invalid,
+		seq.Status == Unbounded && par.Status != Unbounded:
+		t.Fatalf("%s: status mismatch: sequential %v, parallel %v", label, seq.Status, par.Status)
+	}
+	if seq.Status == Optimal && par.Status == Optimal && seq.Objective != par.Objective {
+		t.Fatalf("%s: objective mismatch: sequential %v, parallel %v",
+			label, seq.Objective, par.Objective)
+	}
+	// Any returned incumbent must be genuinely feasible on both sides.
+	for name, sol := range map[string]*Solution{"sequential": seq, "parallel": par} {
+		if !feasible(sol.Status) {
+			continue
+		}
+		x := make([]float64, len(m.vars))
+		for j := range x {
+			x[j] = sol.Value(Var(j))
+		}
+		if !m.CheckFeasible(x) {
+			t.Fatalf("%s: %s incumbent infeasible: %v", label, name, x)
+		}
+	}
+}
+
+// TestOracleFuzzCorpusDifferential replays the FuzzSolve seed corpus —
+// the byte encodings that historically exercised tricky solver paths —
+// through the parallel-vs-sequential differential oracle.
+func TestOracleFuzzCorpusDifferential(t *testing.T) {
+	corpus := [][]byte{
+		{},                                      // 1 var, no constraints
+		{2, 1, 1, 3, 250, 5, 0, 2, 1, 1, 1},     // maximize under a <=
+		{4, 2, 0, 7, 7, 9, 9, 9, 2, 4, 1, 1, 2}, // minimize with EQ
+		{5, 5, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, // dense: 6 vars,
+			1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2, 1, 0, 2, 1, // 5 mixed
+			0, 1, 2, 0, 1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2}, // constraints
+		{0, 1, 0, 8, 2, 200, 1}, // likely infeasible EQ
+	}
+	for i, data := range corpus {
+		m, obj, n := decodeModel(data)
+		if m.Check() != nil {
+			continue
+		}
+		label := fmt.Sprintf("corpus[%d]", i)
+		checkAgainstSequential(t, m, label)
+		// The corpus models are small enough to brute-force, so also pin
+		// the parallel objective against exhaustive enumeration.
+		if sol := m.Solve(oracleOpts(4)); sol.Status == Optimal {
+			if want := bruteForce(m, obj, n); math.Abs(sol.Objective-want) > 1e-9 {
+				t.Fatalf("%s: parallel optimal %v, brute force %v", label, sol.Objective, want)
+			}
+		}
+	}
+}
+
+// randomOracleModel builds a random 0/1 model with small integer
+// coefficients: up to 10 binary variables, up to 8 LE/GE/EQ constraints
+// with coefficients in {-2..2} and integer right-hand sides. Integer
+// data keeps every objective an exact float sum, so the differential
+// comparison can demand bit equality.
+func randomOracleModel(r *rand.Rand) *Model {
+	nVars := 1 + r.Intn(10)
+	nCons := r.Intn(9)
+	sense := Minimize
+	if r.Intn(2) == 1 {
+		sense = Maximize
+	}
+	m := NewModel(sense)
+	vars := make([]Var, nVars)
+	for j := range vars {
+		vars[j] = m.Binary("x")
+		m.SetObjective(vars[j], float64(r.Intn(21)-10))
+	}
+	for i := 0; i < nCons; i++ {
+		terms := make([]Term, 0, nVars)
+		for _, v := range vars {
+			if c := r.Intn(5) - 2; c != 0 {
+				terms = append(terms, T(float64(c), v))
+			}
+		}
+		rhs := float64(r.Intn(2*nVars+1) - nVars)
+		switch r.Intn(3) {
+		case 0:
+			m.AddLE("c", rhs, terms...)
+		case 1:
+			m.AddGE("c", rhs, terms...)
+		default:
+			m.AddEQ("c", rhs, terms...)
+		}
+	}
+	return m
+}
+
+// TestOracleRandomDifferential cross-checks the parallel solver against
+// the sequential reference on 500 randomized 0/1 models: agreeing
+// feasibility verdicts and exactly matching optimal objectives.
+func TestOracleRandomDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		m := randomOracleModel(r)
+		checkAgainstSequential(t, m, fmt.Sprintf("random[%d]", i))
+	}
+}
+
+// TestParallelWorkerCountInvariance is the solver-level determinism
+// regression: the same model solved with 1, 2, 4 and 8 workers must
+// return the identical status, objective and variable assignment —
+// bit for bit — because journal replay (PR 3) re-runs placements and
+// must reproduce them on hosts with different core counts.
+func TestParallelWorkerCountInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		m := randomOracleModel(r)
+		if m.Check() != nil {
+			continue
+		}
+		var ref *Solution
+		for _, w := range []int{1, 2, 4, 8} {
+			sol := m.Solve(oracleOpts(w))
+			if ref == nil {
+				ref = sol
+				continue
+			}
+			if sol.Status != ref.Status || sol.Objective != ref.Objective {
+				t.Fatalf("model %d: workers=%d gave (%v, %v), workers=1 gave (%v, %v)",
+					i, w, sol.Status, sol.Objective, ref.Status, ref.Objective)
+			}
+			for j := 0; j < len(m.vars); j++ {
+				if sol.Value(Var(j)) != ref.Value(Var(j)) {
+					t.Fatalf("model %d: workers=%d x[%d]=%v, workers=1 x[%d]=%v",
+						i, w, j, sol.Value(Var(j)), j, ref.Value(Var(j)))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRelGapInvariance verifies the gap-pruning determinism
+// claim: with a nonzero RelGap the parallel solver prunes on a window
+// below the shared incumbent, and the monotone prune floor guarantees
+// the same solution for every worker count and interleaving.
+func TestParallelRelGapInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		m := randomOracleModel(r)
+		if m.Check() != nil {
+			continue
+		}
+		var ref *Solution
+		for run := 0; run < 3; run++ {
+			for _, w := range []int{1, 4, 8} {
+				opts := oracleOpts(w)
+				opts.RelGap = 0.05
+				sol := m.Solve(opts)
+				if ref == nil {
+					ref = sol
+					continue
+				}
+				if sol.Status != ref.Status || sol.Objective != ref.Objective {
+					t.Fatalf("model %d run %d workers=%d: (%v, %v) != reference (%v, %v)",
+						i, run, w, sol.Status, sol.Objective, ref.Status, ref.Objective)
+				}
+				for j := 0; j < len(m.vars); j++ {
+					if sol.Value(Var(j)) != ref.Value(Var(j)) {
+						t.Fatalf("model %d run %d workers=%d: x[%d] differs", i, run, w, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package ilp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultMaxNodes is the node budget applied when Options.MaxNodes is 0.
+const defaultMaxNodes = 200000
+
+// frontierTarget is the number of open subproblems the deterministic
+// breadth-first expansion aims for before fanning out to the worker
+// pool. It is a constant — NOT a function of the worker count — so the
+// frontier, the per-subtree node budgets and therefore the returned
+// solution are identical whether the pool runs 1 or 64 workers.
+const frontierTarget = 32
+
+// incumbentBound is the shared atomic incumbent objective. Workers
+// publish every improvement and prune subtree nodes whose LP bound is
+// worse than the best published value by more than the RelGap window
+// plus tolObj. The strict margin keeps the search deterministic: a node
+// pruned this way is provably worse than the final best solution, so
+// races on WHEN the bound tightens can change how much work is done but
+// never which solutions survive to the final selection.
+type incumbentBound struct {
+	bits atomic.Uint64
+}
+
+func (b *incumbentBound) store(v float64) { b.bits.Store(math.Float64bits(v)) }
+func (b *incumbentBound) load() float64   { return math.Float64frombits(b.bits.Load()) }
+
+// improve publishes v if it beats the current bound (CAS loop).
+func (b *incumbentBound) improve(m *Model, v float64) {
+	for {
+		old := b.bits.Load()
+		if !m.better(v, math.Float64frombits(old)) {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SolveStats aggregates counters across all workers of one parallel
+// solve. The counters are atomics — they are the multi-writer hot path —
+// and informational only: their values can vary run to run with pruning
+// races even though the returned solution cannot.
+type SolveStats struct {
+	// LPSolves counts LP relaxations solved (expansion + subtrees).
+	LPSolves atomic.Int64
+	// IncumbentUpdates counts published incumbent improvements.
+	IncumbentUpdates atomic.Int64
+	// SharedPrunes counts subtree nodes cut by the shared bound.
+	SharedPrunes atomic.Int64
+}
+
+// subtreeResult is what one worker reports for one frontier subtree.
+type subtreeResult struct {
+	obj   float64
+	x     []float64 // snapped best solution, nil when none found
+	nodes int
+	cut   bool // node budget or deadline stopped the subtree early
+}
+
+// gapWindow is the RelGap pruning margin around incumbent objective v:
+// a node whose bound cannot beat v by more than the window is cut. The
+// window function is monotone in v, which the determinism argument
+// relies on (see exploreSubtree).
+func gapWindow(relGap, v float64) float64 {
+	if relGap <= 0 {
+		return 0
+	}
+	return relGap * math.Max(1, math.Abs(v))
+}
+
+// solveParallel is the deterministic parallel branch-and-bound behind
+// Model.Solve. The search runs in three phases:
+//
+//  1. Root + warm start, exactly as the sequential solver.
+//  2. Deterministic frontier expansion: depth-first branching on one
+//     goroutine — the sequential solver's own dive, promising child
+//     first — until frontierTarget open subproblems exist (or the tree
+//     is exhausted). The dive usually reaches integer-feasible leaves,
+//     so a deadline that fires this early still returns an improved
+//     incumbent, exactly as the sequential solver would. The frontier
+//     depends only on the model and options.
+//  3. Fan-out: workers pull frontier subtrees off an atomic index,
+//     deepest first (the order sequential DFS would continue in, so
+//     deadline-cut runs lose the least promising work), and explore
+//     each with the sequential depth-first routine, sharing the
+//     incumbent bound. Each subtree's local search is deterministic; the
+//     shared bound only removes work that is strictly worse than the
+//     final best solution.
+//
+// The final selection scans subtree results in frontier order and picks
+// the best objective, tie-breaking on lexicographic variable assignment,
+// so the returned solution is bit-for-bit identical across worker
+// counts, GOMAXPROCS settings and repeated runs (wall-clock deadlines
+// excepted: a deadline that fires mid-search cuts it at a
+// timing-dependent point, as in the sequential solver).
+func (m *Model) solveParallel(opts Options) *Solution {
+	if err := m.Check(); err != nil {
+		return &Solution{Status: Invalid}
+	}
+	m.prepare()
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = defaultMaxNodes
+	}
+	lo, hi, hasInt := m.rootBounds()
+
+	root := solveLP(m, lo, hi, opts.Deadline)
+	if root.status == statusDeadline {
+		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
+	}
+	if root.status != Optimal {
+		return &Solution{Status: root.status, Nodes: 1}
+	}
+	if !hasInt || m.integral(root.x) {
+		return &Solution{Status: Optimal, Objective: root.obj, values: m.snap(root.x), Nodes: 1}
+	}
+
+	incumbent := m.worst()
+	var incumbentX []float64
+	if obj, x, ok := m.warmIncumbent(opts, lo, hi); ok {
+		incumbent, incumbentX = obj, x
+	}
+
+	// Phase 2: deterministic depth-first frontier expansion — the
+	// sequential solver's own dive, stopped once enough open siblings
+	// have accumulated for the pool. Integral leaves found on the way
+	// down improve the incumbent exactly as in the sequential solver, so
+	// a deadline firing this early degrades identically to it.
+	nodes := 1 // the root LP
+	queue := []bbNode{{lo: lo, hi: hi, bound: root.obj, depth: 0}}
+	deadlineHit := false
+	for len(queue) > 0 && len(queue) < frontierTarget {
+		if nodes >= maxNodes {
+			deadlineHit = true
+			break
+		}
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+			deadlineHit = true
+			break
+		}
+		nd := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if incumbentX != nil && m.better(m.pruneFloor(opts.RelGap, incumbent), nd.bound) {
+			continue
+		}
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
+		nodes++
+		if res.status == statusDeadline {
+			deadlineHit = true
+			break
+		}
+		if res.status != Optimal {
+			continue
+		}
+		if incumbentX != nil && !m.better(res.obj, incumbent) {
+			continue
+		}
+		branchVar := m.branchVariable(res.x)
+		if branchVar < 0 {
+			if incumbentX == nil || m.better(res.obj, incumbent) {
+				incumbent = res.obj
+				incumbentX = m.snap(res.x)
+			}
+			continue
+		}
+		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
+		// LIFO: the promising child is popped next, so phase 2 is the
+		// sequential DFS verbatim and the frontier is the dive path's
+		// open siblings.
+		queue = append(queue, second, first)
+	}
+
+	if len(queue) == 0 || deadlineHit {
+		return m.finish(incumbent, incumbentX, nodes, deadlineHit, len(queue) > 0)
+	}
+	// Reserve at least one node per subtree; otherwise the budget is
+	// already exhausted and the frontier counts as unexplored work.
+	if maxNodes-nodes < len(queue) {
+		return m.finish(incumbent, incumbentX, nodes, true, true)
+	}
+
+	// Phase 3: fan the frontier out to the worker pool.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(queue) {
+		workers = len(queue)
+	}
+	budgetPer := (maxNodes - nodes) / len(queue)
+	shared := &incumbentBound{}
+	shared.store(incumbent)
+	var stats SolveStats
+	results := make([]subtreeResult, len(queue))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(results) {
+					return
+				}
+				// Deepest subtree first: with the LIFO frontier that is
+				// where sequential DFS would resume, so a deadline cuts
+				// the least promising subtrees, not the most.
+				idx := len(results) - 1 - i
+				results[idx] = m.exploreSubtree(queue[idx], opts, budgetPer, incumbent, shared, &stats)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic selection: frontier order, objective first, then
+	// lexicographic assignment. Equal objectives compare exactly — the
+	// candidates surviving to this point are interleaving-invariant.
+	bestObj, bestX := incumbent, incumbentX
+	cut := false
+	for i := range results {
+		r := &results[i]
+		nodes += r.nodes
+		cut = cut || r.cut
+		if r.x == nil {
+			continue
+		}
+		if bestX == nil || m.better(r.obj, bestObj) || (r.obj == bestObj && lexLess(r.x, bestX)) {
+			bestObj, bestX = r.obj, r.x
+		}
+	}
+	return m.finish(bestObj, bestX, nodes, cut, cut)
+}
+
+// copysignWindow orients a non-negative pruning window along the model
+// sense: for Maximize a node must beat incumbent+window, for Minimize
+// incumbent-window.
+func copysignWindow(m *Model, w float64) float64 {
+	if m.sense == Minimize {
+		return -w
+	}
+	return w
+}
+
+// pruneFloor maps an incumbent objective v to the cut line of subtree
+// pruning: a node whose LP bound is strictly worse than pruneFloor(v)
+// cannot contain a solution tying the final best. The function is
+// monotone in v (for RelGap < 1), so pruneFloor(anyIncumbent) never
+// exceeds pruneFloor(finalBest) — the property the determinism argument
+// in exploreSubtree rests on.
+func (m *Model) pruneFloor(relGap, v float64) float64 {
+	return v - copysignWindow(m, gapWindow(relGap, v)+tolObj)
+}
+
+// exploreSubtree runs the deterministic depth-first search over one
+// frontier subtree. Local pruning (against the subtree's own incumbent
+// value, seeded with the deterministic phase-2 incumbent) mirrors the
+// sequential solver exactly. The shared bound adds cross-subtree pruning
+// with a strict margin: a node is cut only when its bound is worse than
+// the published incumbent by more than the RelGap window plus tolObj.
+// Because LP bounds are monotone down the tree and the window function
+// is monotone in the incumbent, every node cut this way is strictly
+// worse than the FINAL best solution — so the set of solutions at or
+// above the final floor that this subtree finds is identical in every
+// run, regardless of when other workers publish.
+func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedInc float64, shared *incumbentBound, stats *SolveStats) subtreeResult {
+	incumbent := seedInc
+	haveSeed := !math.IsInf(seedInc, 0)
+	var incumbentX []float64
+	nodes := 0
+	cut := false
+	stack := []bbNode{rootNd}
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			cut = true
+			break
+		}
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+			cut = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Both prune rules cut through the SAME monotone floor function.
+		// The local incumbent's value below the final best varies across
+		// runs (shared pruning may remove some of its raisers), but since
+		// pruneFloor(inc) <= pruneFloor(finalBest) for every incumbent, a
+		// node cut by either rule is strictly worse than the final floor —
+		// and a node containing a final-best tie has bound >= finalBest >
+		// pruneFloor(finalBest), so it survives in every run.
+		if (haveSeed || incumbentX != nil) && m.better(m.pruneFloor(opts.RelGap, incumbent), nd.bound) {
+			continue
+		}
+		if sv := shared.load(); !math.IsInf(sv, 0) && m.better(m.pruneFloor(opts.RelGap, sv), nd.bound) {
+			stats.SharedPrunes.Add(1)
+			continue
+		}
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
+		nodes++
+		stats.LPSolves.Add(1)
+		if res.status == statusDeadline {
+			cut = true
+			break
+		}
+		if res.status != Optimal {
+			continue
+		}
+		if (haveSeed || incumbentX != nil) && !m.better(res.obj, incumbent) {
+			continue
+		}
+		branchVar := m.branchVariable(res.x)
+		if branchVar < 0 {
+			if !haveSeed && incumbentX == nil || m.better(res.obj, incumbent) {
+				incumbent = res.obj
+				incumbentX = m.snap(res.x)
+				shared.improve(m, incumbent)
+				stats.IncumbentUpdates.Add(1)
+			}
+			continue
+		}
+		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
+		stack = append(stack, second, first)
+	}
+	if len(stack) > 0 {
+		cut = true
+	}
+	return subtreeResult{obj: incumbent, x: incumbentX, nodes: nodes, cut: cut}
+}
+
+// finish assembles the Solution from the best incumbent and search
+// completeness.
+func (m *Model) finish(obj float64, x []float64, nodes int, deadlineHit, open bool) *Solution {
+	switch {
+	case x == nil && deadlineHit:
+		return &Solution{Status: NoSolution, Nodes: nodes, DeadlineHit: true}
+	case x == nil:
+		return &Solution{Status: Infeasible, Nodes: nodes}
+	case deadlineHit || open:
+		return &Solution{Status: Feasible, Objective: obj, values: x, Nodes: nodes, DeadlineHit: deadlineHit}
+	default:
+		return &Solution{Status: Optimal, Objective: obj, values: x, Nodes: nodes}
+	}
+}

@@ -102,26 +102,35 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
 	var rows []row
 	nStructural := len(svars)
 	newRow := func() []float64 { return make([]float64, nStructural) }
-	for _, con := range m.cons {
+	// Constraint rows come from the CSR cache: branch-and-bound solves
+	// thousands of relaxations of the same matrix, and the workers share
+	// the prepared form read-only. A model solved without prepare() (direct
+	// LP tests) builds a local throwaway copy to stay race-free.
+	p := m.prep
+	if p == nil {
+		p = buildPrepared(m)
+	}
+	for ci := 0; ci < len(p.conLo); ci++ {
 		a := newRow()
 		shiftSum := 0.0
-		for _, t := range con.terms {
-			j := int(t.Var)
+		for k := p.rowStart[ci]; k < p.rowStart[ci+1]; k++ {
+			j := p.cols[k]
+			coeff := p.coefs[k]
 			if colOf[j] < 0 {
-				shiftSum += t.Coeff * fixed[j]
+				shiftSum += coeff * fixed[j]
 				continue
 			}
 			c0 := colOf[j]
 			sv := svars[c0]
-			shiftSum += t.Coeff * sv.shift
-			a[c0] += t.Coeff * sv.sign
+			shiftSum += coeff * sv.shift
+			a[c0] += coeff * sv.sign
 			if sv.sign == 1 && c0+1 < len(svars) && svars[c0+1].model == j && svars[c0+1].sign == -1 {
-				a[c0+1] += -t.Coeff
+				a[c0+1] += -coeff
 			}
 		}
-		loC, hiC := con.lo-shiftSum, con.hi-shiftSum
+		loC, hiC := p.conLo[ci]-shiftSum, p.conHi[ci]-shiftSum
 		switch {
-		case con.lo == con.hi:
+		case p.conLo[ci] == p.conHi[ci]:
 			rows = append(rows, row{a: a, rel: 0, b: loC})
 		default:
 			if !math.IsInf(hiC, 1) {

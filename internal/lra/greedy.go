@@ -86,6 +86,10 @@ type greedy struct {
 // Name implements Algorithm.
 func (g *greedy) Name() string { return g.name }
 
+// PlaceSequentially implements SequentialPlacer: only the RNG-driven
+// first-fit variants carry cross-call mutable state.
+func (g *greedy) PlaceSequentially() bool { return g.rng != nil }
+
 // NewSerial returns the Serial baseline: greedy placement in submission
 // order with no container reordering (§7.1).
 func NewSerial() Algorithm { return &greedy{name: "Serial", order: orderSerial} }
@@ -200,7 +204,7 @@ func (g *greedy) Place(state *cluster.Cluster, apps []*Application, active []con
 		}
 		r := queue[sel]
 		done[sel] = true
-		node, ok := g.bestNode(work, rel(r), r)
+		node, ok := g.bestNode(work, rel(r), r, opts.workers())
 		if !ok {
 			// All-or-nothing (Equation 4): roll the application back.
 			failed[r.appIdx] = true
@@ -245,8 +249,11 @@ func (g *greedy) Place(state *cluster.Cluster, apps []*Application, active []con
 
 // bestNode returns the feasible node with the best score: lowest weighted
 // violation delta, then (scaled by loadBalanceWeight, if set) the least
-// utilised node, then the lowest node ID for determinism.
-func (g *greedy) bestNode(work *cluster.Cluster, cons []constraint.Entry, r containerReq) (cluster.NodeID, bool) {
+// utilised node, then the lowest node ID for determinism. Scoring fans
+// out across workers into index-addressed slots; the selection reduction
+// runs sequentially in node order, so the result is identical for every
+// worker count.
+func (g *greedy) bestNode(work *cluster.Cluster, cons []constraint.Entry, r containerReq, workers int) (cluster.NodeID, bool) {
 	if g.firstFit {
 		const frontier = 8
 		var fits []cluster.NodeID
@@ -263,11 +270,16 @@ func (g *greedy) bestNode(work *cluster.Cluster, cons []constraint.Entry, r cont
 		}
 		return fits[g.rng.Intn(len(fits))], true
 	}
-	bestID := cluster.NodeID(-1)
-	bestDelta, bestUtil := 0.0, 0.0
-	for _, n := range work.Nodes() {
+	nodes := work.Nodes()
+	type score struct {
+		ok          bool
+		delta, util float64
+	}
+	scores := make([]score, len(nodes))
+	parallelFor(len(nodes), workers, func(i int) {
+		n := nodes[i]
 		if !n.Available() || !r.demand.Fits(n.Free()) {
-			continue
+			return
 		}
 		delta := placementDeltaMode(work, cons, r.tags, n.ID, g.subjectOnly)
 		if g.affinityPull > 0 {
@@ -279,9 +291,18 @@ func (g *greedy) bestNode(work *cluster.Cluster, cons []constraint.Entry, r cont
 			// lexicographically preferring constraints.
 			delta += g.loadBalanceWeight * util
 		}
-		if bestID < 0 || delta < bestDelta-1e-12 ||
-			(delta < bestDelta+1e-12 && util < bestUtil-1e-12) {
-			bestID, bestDelta, bestUtil = n.ID, delta, util
+		scores[i] = score{ok: true, delta: delta, util: util}
+	})
+	bestID := cluster.NodeID(-1)
+	bestDelta, bestUtil := 0.0, 0.0
+	for i, n := range nodes {
+		s := scores[i]
+		if !s.ok {
+			continue
+		}
+		if bestID < 0 || s.delta < bestDelta-1e-12 ||
+			(s.delta < bestDelta+1e-12 && s.util < bestUtil-1e-12) {
+			bestID, bestDelta, bestUtil = n.ID, s.delta, s.util
 		}
 	}
 	return bestID, bestID >= 0

@@ -501,6 +501,7 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		Deadline:  start.Add(opts.solverBudget()),
 		RelGap:    0.01,
 		WarmStart: warm,
+		Workers:   opts.Workers,
 	})
 	if debugILP {
 		warmObj := 0.0
@@ -628,10 +629,22 @@ func selectCandidates(state *cluster.Cluster, cons []constraint.Entry, groups []
 			delta float64
 			free  int64
 		}
-		classes := map[string]*class{}
-		for _, n := range state.Nodes() {
+		// Per-node violation scoring is the hot part of candidate
+		// selection (one placementDelta per node per group); it fans out
+		// across workers into index-addressed slots, and the class
+		// bucketing below reduces them sequentially in node order so the
+		// candidate sets stay identical for every worker count.
+		nodes := state.Nodes()
+		type nodeScore struct {
+			ok    bool
+			delta float64
+			key   string
+		}
+		scored := make([]nodeScore, len(nodes))
+		parallelFor(len(nodes), opts.workers(), func(i int) {
+			n := nodes[i]
 			if !n.Available() || !g.demand.Fits(n.Free()) {
-				continue
+				return
 			}
 			delta := placementDelta(state, gcons, g.tags, n.ID)
 			var key strings.Builder
@@ -642,11 +655,18 @@ func selectCandidates(state *cluster.Cluster, cons []constraint.Entry, groups []
 				}
 				fmt.Fprintf(&key, "|%v", state.SetsOfNode(gn, n.ID))
 			}
-			k := key.String()
-			cl := classes[k]
+			scored[i] = nodeScore{ok: true, delta: delta, key: key.String()}
+		})
+		classes := map[string]*class{}
+		for i, n := range nodes {
+			s := scored[i]
+			if !s.ok {
+				continue
+			}
+			cl := classes[s.key]
 			if cl == nil {
-				cl = &class{delta: delta, free: n.Free().Scalar()}
-				classes[k] = cl
+				cl = &class{delta: s.delta, free: n.Free().Scalar()}
+				classes[s.key] = cl
 			}
 			cl.nodes = append(cl.nodes, n.ID)
 		}

@@ -1,0 +1,65 @@
+package lra
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// scoreParallelMin is the work-item threshold below which a scoring
+// fan-out is not worth the goroutine overhead: figure-scale batches score
+// thousands of nodes per container, tiny test clusters a handful.
+const scoreParallelMin = 64
+
+// workers resolves Options.Workers (0 = all CPUs).
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines. Each invocation must write only state owned by index i
+// (index-addressed result slots), which keeps the fan-out deterministic:
+// the caller reads the slots back in index order, so scheduling only
+// affects WHEN a slot is filled, never what the sequential reduction
+// sees. Cluster state passed into fn must be read-only — cluster reads
+// are pure (no lazy caches), so concurrent scoring is race-free.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < scoreParallelMin {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked work-stealing off one atomic cursor: contiguous chunks keep
+	// the per-index loads cache-friendly without pre-partitioning (which
+	// would straggle on skewed per-node constraint counts).
+	const chunk = 16
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -155,6 +155,12 @@ type Options struct {
 	// RMin is the fragmentation threshold r_min of Equation 5 (zero value
 	// uses cluster.FragmentationThreshold).
 	RMin resource.Vector
+	// Workers bounds the number of goroutines the algorithms use for the
+	// parallel solver and candidate scoring (0 = runtime.NumCPU()). Every
+	// worker count produces identical placements: the parallel
+	// branch-and-bound is deterministic by construction and the scoring
+	// fan-out writes to index-addressed slots.
+	Workers int
 }
 
 func (o Options) weights() Weights {
@@ -193,4 +199,14 @@ func (o Options) solverBudget() time.Duration {
 type Algorithm interface {
 	Name() string
 	Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result
+}
+
+// SequentialPlacer is optionally implemented by algorithms whose Place
+// must not run concurrently with itself — typically because placement
+// draws from internal mutable state (a seeded RNG, like the YARN
+// baseline's first-fit frontier). Core's parallel sub-batch fan-out
+// checks it and falls back to one whole-batch call when
+// PlaceSequentially reports true.
+type SequentialPlacer interface {
+	PlaceSequentially() bool
 }

@@ -1,6 +1,10 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // BreakerEvent records one circuit-breaker transition, for diagnostics
 // and the byzantine-algorithm tests.
@@ -27,75 +31,159 @@ func (e BreakerEvent) String() string {
 // rejected by commit-time validation, deadline hits and budget
 // exhaustions in the solver, whole-cluster invariant violations, and
 // circuit-breaker activity over the degradation ladder.
+//
+// The counters are atomics and the string diagnostics mutex-guarded:
+// under the parallel placement pipeline, independent sub-batches solve
+// concurrently, and each may record a panic, deadline hit or rejection.
+// All access goes through the methods below. PipelineStats must not be
+// copied after first use (the atomics pin it in place); hold it by
+// pointer or embedded in a heap-allocated owner.
 type PipelineStats struct {
-	// PanicsRecovered counts algorithm panics converted into failed
-	// cycles; LastPanic holds the most recent panic value and stack.
-	PanicsRecovered int
-	LastPanic       string
+	panicsRecovered     atomic.Int64
+	validationRejects   atomic.Int64
+	deadlineHits        atomic.Int64
+	solverExhaustions   atomic.Int64
+	invalidModels       atomic.Int64
+	invariantViolations atomic.Int64
+	degradedCycles      atomic.Int64
+	breakerTrips        atomic.Int64
+	breakerReopens      atomic.Int64
+	breakerResets       atomic.Int64
 
-	// ValidationRejects counts placements vetoed by commit-time
-	// validation (over capacity, hard-constraint violation, double
-	// assignment, unhealthy target node, malformed shape).
-	ValidationRejects int
-	// LastReject holds the most recent validation error.
-	LastReject string
+	mu            sync.Mutex
+	lastPanic     string
+	lastReject    string
+	lastViolation string
+	events        []BreakerEvent
+}
 
-	// DeadlineHits counts cycles whose solver stopped on its time budget
-	// but still produced a placement (incumbent or heuristic fallback).
-	// SolverExhaustions counts cycles where the budget expired with no
-	// incumbent at all; InvalidModels counts cycles whose ILP model failed
-	// validation. Both are breaker failure signals.
-	DeadlineHits      int
-	SolverExhaustions int
-	InvalidModels     int
+// RecordPanic counts one recovered algorithm panic and stores its
+// diagnostic (panic value + stack).
+func (p *PipelineStats) RecordPanic(detail string) {
+	p.panicsRecovered.Add(1)
+	p.mu.Lock()
+	p.lastPanic = detail
+	p.mu.Unlock()
+}
 
-	// InvariantViolations counts post-commit whole-cluster invariant
-	// check failures (audit.Mode Metrics); LastViolation holds the most
-	// recent one. In FailFast mode the first violation panics instead.
-	InvariantViolations int
-	LastViolation       string
+// RecordValidationReject counts one commit-time validation veto and
+// stores the rejection reason.
+func (p *PipelineStats) RecordValidationReject(reason string) {
+	p.validationRejects.Add(1)
+	p.mu.Lock()
+	p.lastReject = reason
+	p.mu.Unlock()
+}
 
-	// DegradedCycles counts cycles placed by a ladder algorithm other
-	// than the configured one (breaker open or probing deeper levels).
-	DegradedCycles int
+// RecordInvariantViolation counts one whole-cluster invariant check
+// failure and stores the violation.
+func (p *PipelineStats) RecordInvariantViolation(detail string) {
+	p.invariantViolations.Add(1)
+	p.mu.Lock()
+	p.lastViolation = detail
+	p.mu.Unlock()
+}
 
-	// BreakerTrips counts closed→open transitions, BreakerReopens counts
-	// failed half-open probes, BreakerResets counts successful probes
-	// restoring the configured algorithm.
-	BreakerTrips   int
-	BreakerReopens int
-	BreakerResets  int
+// AddDeadlineHit counts a cycle whose solver stopped on its time budget.
+func (p *PipelineStats) AddDeadlineHit() { p.deadlineHits.Add(1) }
 
-	// Events is the ordered transition log.
-	Events []BreakerEvent
+// AddSolverExhaustion counts a cycle whose budget expired incumbent-less.
+func (p *PipelineStats) AddSolverExhaustion() { p.solverExhaustions.Add(1) }
+
+// AddInvalidModel counts a cycle whose ILP model failed validation.
+func (p *PipelineStats) AddInvalidModel() { p.invalidModels.Add(1) }
+
+// AddDegradedCycle counts a cycle served by a ladder algorithm other
+// than the configured one.
+func (p *PipelineStats) AddDegradedCycle() { p.degradedCycles.Add(1) }
+
+// PanicsRecovered returns the recovered-panic count.
+func (p *PipelineStats) PanicsRecovered() int { return int(p.panicsRecovered.Load()) }
+
+// ValidationRejects returns the commit-time veto count.
+func (p *PipelineStats) ValidationRejects() int { return int(p.validationRejects.Load()) }
+
+// DeadlineHits returns the solver deadline-hit count.
+func (p *PipelineStats) DeadlineHits() int { return int(p.deadlineHits.Load()) }
+
+// SolverExhaustions returns the incumbent-less budget-expiry count.
+func (p *PipelineStats) SolverExhaustions() int { return int(p.solverExhaustions.Load()) }
+
+// InvalidModels returns the failed-model-validation count.
+func (p *PipelineStats) InvalidModels() int { return int(p.invalidModels.Load()) }
+
+// InvariantViolations returns the post-commit invariant failure count.
+func (p *PipelineStats) InvariantViolations() int { return int(p.invariantViolations.Load()) }
+
+// DegradedCycles returns the count of cycles served off-ladder.
+func (p *PipelineStats) DegradedCycles() int { return int(p.degradedCycles.Load()) }
+
+// BreakerTrips returns the closed→open transition count.
+func (p *PipelineStats) BreakerTrips() int { return int(p.breakerTrips.Load()) }
+
+// BreakerReopens returns the failed half-open probe count.
+func (p *PipelineStats) BreakerReopens() int { return int(p.breakerReopens.Load()) }
+
+// BreakerResets returns the count of successful probes restoring the
+// configured algorithm.
+func (p *PipelineStats) BreakerResets() int { return int(p.breakerResets.Load()) }
+
+// LastPanic returns the most recent recovered panic diagnostic.
+func (p *PipelineStats) LastPanic() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastPanic
+}
+
+// LastReject returns the most recent validation rejection reason.
+func (p *PipelineStats) LastReject() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastReject
+}
+
+// LastViolation returns the most recent invariant violation.
+func (p *PipelineStats) LastViolation() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastViolation
+}
+
+// Events returns a copy of the ordered breaker transition log.
+func (p *PipelineStats) Events() []BreakerEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]BreakerEvent(nil), p.events...)
 }
 
 // RecordTransition appends a breaker event and bumps the matching
 // counter.
 func (p *PipelineStats) RecordTransition(e BreakerEvent) {
-	p.Events = append(p.Events, e)
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
 	switch {
 	case e.From == "closed" && e.To == "open":
-		p.BreakerTrips++
+		p.breakerTrips.Add(1)
 	case e.From == "half-open" && e.To == "open":
-		p.BreakerReopens++
+		p.breakerReopens.Add(1)
 	case e.To == "closed":
-		p.BreakerResets++
+		p.breakerResets.Add(1)
 	}
 }
 
 // Table renders the counters as a two-column summary table.
 func (p *PipelineStats) Table(title string) *Table {
 	t := NewTable(title, "metric", "value")
-	t.AddRow("panics recovered", p.PanicsRecovered)
-	t.AddRow("validation rejects", p.ValidationRejects)
-	t.AddRow("solver deadline hits", p.DeadlineHits)
-	t.AddRow("solver exhaustions", p.SolverExhaustions)
-	t.AddRow("invalid models", p.InvalidModels)
-	t.AddRow("invariant violations", p.InvariantViolations)
-	t.AddRow("degraded cycles", p.DegradedCycles)
-	t.AddRow("breaker trips", p.BreakerTrips)
-	t.AddRow("breaker reopens", p.BreakerReopens)
-	t.AddRow("breaker resets", p.BreakerResets)
+	t.AddRow("panics recovered", p.PanicsRecovered())
+	t.AddRow("validation rejects", p.ValidationRejects())
+	t.AddRow("solver deadline hits", p.DeadlineHits())
+	t.AddRow("solver exhaustions", p.SolverExhaustions())
+	t.AddRow("invalid models", p.InvalidModels())
+	t.AddRow("invariant violations", p.InvariantViolations())
+	t.AddRow("degraded cycles", p.DegradedCycles())
+	t.AddRow("breaker trips", p.BreakerTrips())
+	t.AddRow("breaker reopens", p.BreakerReopens())
+	t.AddRow("breaker resets", p.BreakerResets())
 	return t
 }
