@@ -202,6 +202,7 @@ func main() {
 	count := flag.Int("count", 3, "runs per configuration; the best (lowest ns/op) is kept")
 	gate := flag.Bool("gate", false, "enforce the parallel speedup gate on the pipeline fixture")
 	minSpeedup := flag.Float64("speedup", 2.0, "required speedup of the highest CPU count over 1 CPU")
+	maxAllocs := flag.Int64("maxallocs", 0, "fail if any ILP solve exceeds this many allocs/op (0 = off)")
 	outDir := flag.String("out", ".", "directory for BENCH_*.json artifacts")
 	flag.Parse()
 
@@ -223,7 +224,7 @@ func main() {
 			"64-node grid, 12 anti-affinity LRAs, build + one RunCycle", benchPipeline},
 	}
 
-	var pipeline []benchResult
+	var pipeline, ilpResults []benchResult
 	for _, s := range suites {
 		f := benchFile{Benchmark: s.name, Fixture: s.fixture, NumCPU: runtime.NumCPU(), Count: *count}
 		for _, cpu := range cpus {
@@ -242,6 +243,24 @@ func main() {
 		if s.name == "pipeline-cycle" {
 			pipeline = f.Results
 		}
+		if s.name == "ilp-solve" {
+			ilpResults = f.Results
+		}
+	}
+
+	// The allocation gate is CPU-count independent: a full solve of the
+	// knapsack fixture must not regress in allocs/op, whatever the
+	// parallelism. This is the cheap canary for accidental per-node or
+	// per-candidate garbage in the solver hot path.
+	if *maxAllocs > 0 {
+		for _, r := range ilpResults {
+			if r.AllocsPerOp > *maxAllocs {
+				fmt.Fprintf(os.Stderr, "gate: FAIL — ilp-solve at %d CPUs allocates %d/op, cap is %d\n",
+					r.CPU, r.AllocsPerOp, *maxAllocs)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("gate: OK — ilp-solve allocs/op within the %d cap at every CPU count\n", *maxAllocs)
 	}
 
 	if *gate {

@@ -294,6 +294,49 @@ func (m *Medea) AttachJournal(j journal.Journal, now time.Time) error {
 // volatile).
 func (m *Medea) Journal() journal.Journal { return m.jnl }
 
+// JournalLag returns the number of WAL records appended since the last
+// checkpoint — the replay tail a recovery would face. It is a
+// backpressure signal for admission control: a scheduler whose
+// checkpoint cadence cannot keep up should shed load before the replay
+// window grows unboundedly. Zero when no journal is attached or the
+// backend does not expose lag.
+func (m *Medea) JournalLag() int {
+	if lg, ok := m.jnl.(journal.Lagger); ok {
+		return lg.Lag()
+	}
+	return 0
+}
+
+// Checkpoint forces a full durable-state checkpoint now, independent of
+// the CheckpointEvery cadence. The serving layer uses it on graceful
+// drain (persist everything before exit) and after operator-constraint
+// changes (which have no WAL record of their own). No-op without an
+// attached journal.
+func (m *Medea) Checkpoint(now time.Time) error {
+	if m.jnl == nil {
+		return nil
+	}
+	return m.jnl.WriteCheckpoint(m.buildCheckpoint(now))
+}
+
+// SetSolverBudget adjusts the per-cycle solver wall-clock budget at
+// runtime. The serving layer uses it for deadline propagation: when
+// queued submissions carry request deadlines, the scheduling loop clamps
+// the budget to the tightest remaining deadline before running the cycle
+// and restores it afterwards. A non-positive d restores the algorithm's
+// own default.
+func (m *Medea) SetSolverBudget(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.cfg.SolverBudget = d
+	m.cfg.Options.SolverBudget = d
+}
+
+// SolverBudget returns the currently configured solver budget (zero =
+// the algorithm's own default).
+func (m *Medea) SolverBudget() time.Duration { return m.cfg.Options.SolverBudget }
+
 // logRecord appends one WAL record, fail-stop: a scheduler that cannot
 // persist a state transition must not keep applying it.
 func (m *Medea) logRecord(r *journal.Record) {

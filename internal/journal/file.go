@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -59,17 +60,26 @@ type File struct {
 	wal *os.File
 	w   *bufio.Writer
 	seq int64
+	// lag counts records appended since the last checkpoint (the WAL tail
+	// a recovery would replay). Resumed from disk on OpenDir.
+	lag int
+	// tornWAL records that the last open (or load) found and dropped a
+	// truncated partial record at the end of the WAL — the signature of a
+	// crash mid-append.
+	tornWAL bool
 }
 
 // OpenDir opens (or creates) a file-backed journal in dir. An existing
 // journal is resumed: the sequence counter continues after the highest
-// Seq on disk.
+// Seq on disk. A torn final WAL line (a crash mid-append leaves truncated
+// partial JSON) is truncated away before the log is reopened for append,
+// so the next record starts on a clean line.
 func OpenDir(dir string) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: creating dir: %w", err)
 	}
 	f := &File{dir: dir}
-	cp, recs, err := f.Load()
+	cp, recs, validEnd, torn, err := f.load()
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +88,15 @@ func OpenDir(dir string) (*File, error) {
 	}
 	if n := len(recs); n > 0 && recs[n-1].Seq > f.seq {
 		f.seq = recs[n-1].Seq
+	}
+	f.lag = len(recs)
+	if torn {
+		f.tornWAL = true
+		fmt.Fprintf(os.Stderr, "journal: warning: dropping torn partial record at end of %s (crash mid-append); truncating to %d bytes\n",
+			filepath.Join(dir, walName), validEnd)
+		if err := os.Truncate(filepath.Join(dir, walName), validEnd); err != nil {
+			return nil, fmt.Errorf("journal: truncating torn wal tail: %w", err)
+		}
 	}
 	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -90,6 +109,14 @@ func OpenDir(dir string) (*File, error) {
 
 // Dir returns the journal directory.
 func (f *File) Dir() string { return f.dir }
+
+// Lag implements Lagger: the number of WAL records since the last
+// checkpoint.
+func (f *File) Lag() int { return f.lag }
+
+// RecoveredTornTail reports whether the journal dropped a truncated
+// partial record at the end of the WAL when it was opened or loaded.
+func (f *File) RecoveredTornTail() bool { return f.tornWAL }
 
 // Append implements Journal. Each record is flushed to the OS before
 // Append returns, so a scheduler crash (the failure model here — not a
@@ -111,6 +138,7 @@ func (f *File) Append(r *Record) error {
 	if err := f.w.Flush(); err != nil {
 		return fmt.Errorf("journal: flushing record %d: %w", r.Seq, err)
 	}
+	f.lag++
 	return nil
 }
 
@@ -144,50 +172,85 @@ func (f *File) WriteCheckpoint(c *Checkpoint) error {
 	}
 	f.wal = wal
 	f.w = bufio.NewWriter(wal)
+	f.lag = 0
 	return nil
 }
 
 // Load implements Journal, reading the on-disk state: the latest
-// checkpoint (if any) and the WAL records newer than it, in Seq order.
+// checkpoint (if any) and the WAL records newer than it, in Seq order. A
+// truncated partial record at the very end of the WAL — the signature of
+// a crash mid-append — is skipped with a warning rather than failing the
+// whole recovery; the record was never acknowledged, so dropping it is
+// the correct replay. Corruption anywhere else still fails loudly.
 func (f *File) Load() (*Checkpoint, []*Record, error) {
-	var cp *Checkpoint
+	cp, recs, _, torn, err := f.load()
+	if torn {
+		f.tornWAL = true
+		fmt.Fprintf(os.Stderr, "journal: warning: ignoring torn partial record at end of %s (crash mid-append)\n",
+			filepath.Join(f.dir, walName))
+	}
+	return cp, recs, err
+}
+
+// load reads the on-disk state and additionally reports the byte offset
+// of the end of the last intact record (for truncating a torn tail) and
+// whether a torn tail was found.
+func (f *File) load() (cp *Checkpoint, recs []*Record, validEnd int64, torn bool, err error) {
 	if b, err := os.ReadFile(filepath.Join(f.dir, checkpointName)); err == nil {
 		cp, err = decodeCheckpoint(b)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, false, err
 		}
 	} else if !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("journal: reading checkpoint: %w", err)
+		return nil, nil, 0, false, fmt.Errorf("journal: reading checkpoint: %w", err)
 	}
-	var recs []*Record
-	wal, err := os.Open(filepath.Join(f.dir, walName))
+	content, err := os.ReadFile(filepath.Join(f.dir, walName))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return cp, nil, nil
+			return cp, nil, 0, false, nil
 		}
-		return nil, nil, fmt.Errorf("journal: opening wal: %w", err)
+		return nil, nil, 0, false, fmt.Errorf("journal: opening wal: %w", err)
 	}
-	defer wal.Close()
-	sc := bufio.NewScanner(wal)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	offset := 0
+	for offset < len(content) {
+		var line []byte
+		next := offset
+		terminated := false
+		if nl := bytes.IndexByte(content[offset:], '\n'); nl >= 0 {
+			line, next, terminated = content[offset:offset+nl], offset+nl+1, true
+		} else {
+			line, next = content[offset:], len(content)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			offset = next
+			validEnd = int64(next)
 			continue
 		}
-		r, err := decodeRecord(line)
-		if err != nil {
-			return nil, nil, err
+		if !terminated {
+			// Non-empty final line without its newline terminator. Append
+			// writes payload and terminator in one flush, so whether or
+			// not the payload happens to parse, the record was never
+			// acknowledged — drop it as a torn tail.
+			return cp, recs, validEnd, true, nil
 		}
-		if cp != nil && r.Seq <= cp.Seq {
-			continue // stale prefix from a torn checkpoint+rotate
+		r, derr := decodeRecord(trimmed)
+		if derr != nil {
+			if len(bytes.TrimSpace(content[next:])) == 0 {
+				// Final line of the file and nothing but whitespace after
+				// it: a torn append from a crash. Skip it; the caller may
+				// truncate the file to validEnd before appending again.
+				return cp, recs, validEnd, true, nil
+			}
+			return nil, nil, 0, false, derr
 		}
-		recs = append(recs, r)
+		if cp == nil || r.Seq > cp.Seq {
+			recs = append(recs, r)
+		}
+		offset = next
+		validEnd = int64(next)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("journal: scanning wal: %w", err)
-	}
-	return cp, recs, nil
+	return cp, recs, validEnd, false, nil
 }
 
 // Close implements Journal.

@@ -186,6 +186,18 @@ type RepairItem struct {
 	Since     time.Time           `json:"since,omitempty"`
 }
 
+// Lagger is optionally implemented by backends that can report how many
+// WAL records have accumulated since the last checkpoint — the tail a
+// recovery would have to replay. Overload control uses it as a
+// backpressure signal: a scheduler whose checkpoint cadence cannot keep
+// up with its write rate should stop admitting before the replay window
+// grows unboundedly.
+type Lagger interface {
+	// Lag returns the number of records appended since the last
+	// checkpoint.
+	Lag() int
+}
+
 // Journal is the durable-state backend. Implementations must assign
 // Record.Seq on Append and must return, from Load, the latest checkpoint
 // (nil if none) plus all records with Seq greater than the checkpoint's,
@@ -249,6 +261,9 @@ func (m *Memory) WriteCheckpoint(c *Checkpoint) error {
 	m.tail = nil
 	return nil
 }
+
+// Lag implements Lagger: the number of records since the last checkpoint.
+func (m *Memory) Lag() int { return len(m.tail) }
 
 // Load implements Journal.
 func (m *Memory) Load() (*Checkpoint, []*Record, error) {

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"medea/internal/lra"
+)
+
+// submitEntry is one admitted-but-not-yet-scheduled LRA submission
+// waiting for the scheduling loop to hand it to the core.
+type submitEntry struct {
+	app      *lra.Application
+	tenant   string
+	priority int
+	// deadline is the propagated request deadline (zero = none): if no
+	// scheduling cycle reaches the entry before it, the entry is shed and
+	// the client told to resubmit, instead of silently scheduling work
+	// whose caller has given up.
+	deadline time.Time
+	enqueued time.Time
+}
+
+// submitQueue is the bounded buffer between the accept path and the
+// scheduling loop — the backpressure point. When full, it sheds the
+// lowest-priority work first: an arriving submission evicts the
+// worst-priority queued entry if it outranks it, and is rejected
+// otherwise. Within a priority, the youngest entry is the victim, so
+// FIFO order (and the retry fairness it carries) is preserved for
+// equal-priority work.
+type submitQueue struct {
+	mu      sync.Mutex
+	cap     int
+	entries []*submitEntry // FIFO
+}
+
+func newSubmitQueue(capacity int) *submitQueue {
+	return &submitQueue{cap: capacity}
+}
+
+// Len returns the current queue depth.
+func (q *submitQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries)
+}
+
+// Push admits e, possibly evicting a lower-priority victim when the
+// queue is full. It returns the evicted entry (nil if none) and whether
+// e was admitted.
+func (q *submitQueue) Push(e *submitEntry) (victim *submitEntry, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.entries) < q.cap {
+		q.entries = append(q.entries, e)
+		return nil, true
+	}
+	// Full: find the lowest-priority entry, youngest within the priority.
+	vi := -1
+	for i, cand := range q.entries {
+		if vi == -1 || cand.priority <= q.entries[vi].priority {
+			vi = i
+		}
+	}
+	if vi == -1 || q.entries[vi].priority >= e.priority {
+		return nil, false // nothing outranked: reject the newcomer
+	}
+	victim = q.entries[vi]
+	q.entries = append(q.entries[:vi], q.entries[vi+1:]...)
+	q.entries = append(q.entries, e)
+	return victim, true
+}
+
+// Drain removes and returns every queued entry, in FIFO order.
+func (q *submitQueue) Drain() []*submitEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.entries
+	q.entries = nil
+	return out
+}
+
+// DropExpired removes entries whose deadline passed before now and
+// returns them.
+func (q *submitQueue) DropExpired(now time.Time) []*submitEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var expired []*submitEntry
+	kept := q.entries[:0]
+	for _, e := range q.entries {
+		if !e.deadline.IsZero() && e.deadline.Before(now) {
+			expired = append(expired, e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = kept
+	return expired
+}
+
+// Remove deletes the queued entry with the given app ID, reporting
+// whether one was found.
+func (q *submitQueue) Remove(appID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, e := range q.entries {
+		if e.app.ID == appID {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether an entry with the given app ID is queued.
+func (q *submitQueue) Contains(appID string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range q.entries {
+		if e.app.ID == appID {
+			return true
+		}
+	}
+	return false
+}

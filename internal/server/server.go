@@ -1,0 +1,544 @@
+// Package server turns the Medea library into a serving system: an
+// HTTP/JSON (stdlib-only) scheduler-as-a-service over core.Medea,
+// wrapped in an overload-control layer. The accept path is guarded by
+// three independent protections, checked in order of cost:
+//
+//  1. per-tenant token-bucket rate limiting with a fair-share global
+//     budget — one tenant cannot starve the others (429 + Retry-After);
+//  2. watermark admission control with hysteresis over the submission
+//     backlog, in-flight batches and the journal replay tail — the
+//     server rejects fast instead of letting latency collapse (429 +
+//     Retry-After);
+//  3. a bounded submit queue between the accept path and the scheduling
+//     loop that sheds the lowest-priority work first when full (503).
+//
+// Request deadlines propagate from the submit payload through the queue
+// into the scheduling cycle's solver budget, and graceful drain stops
+// admission, flushes or journals the in-flight work, checkpoints and
+// returns — so a SIGTERM under load loses nothing that was committed.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medea/internal/constraint"
+	"medea/internal/core"
+	"medea/internal/lra"
+	"medea/internal/metrics"
+	"medea/internal/resource"
+)
+
+// Config parameterises the serving layer (the scheduler core has its own
+// core.Config).
+type Config struct {
+	// PollEvery is the scheduling-loop granularity: how often the loop
+	// wakes to drain the submit queue and offer the core a Tick (0 =
+	// 20ms). The core's own Interval still decides when cycles fire.
+	PollEvery time.Duration
+	// QueueCap bounds the submit queue between accept path and
+	// scheduling loop (0 = 1024).
+	QueueCap int
+	// Admission sets the overload watermarks. A zero value enables queue
+	// protection at QueueCap (high) / QueueCap/2 (low) and journal-lag
+	// protection at 4096/2048.
+	Admission AdmissionConfig
+	// RateLimit sets the per-tenant fair-share budget (zero GlobalRate =
+	// unlimited).
+	RateLimit RateLimitConfig
+	// DefaultTenant is used when a request carries no tenant ("" =
+	// "default").
+	DefaultTenant string
+	// Clock is the time source (nil = time.Now). Tests inject a manual
+	// clock to drive rate-limit refill and deadline expiry
+	// deterministically.
+	Clock func() time.Time
+	// Logf receives operational log lines (nil = discarded).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) pollEvery() time.Duration {
+	if c.PollEvery > 0 {
+		return c.PollEvery
+	}
+	return 20 * time.Millisecond
+}
+
+func (c Config) queueCap() int {
+	if c.QueueCap > 0 {
+		return c.QueueCap
+	}
+	return 1024
+}
+
+func (c Config) defaultTenant() string {
+	if c.DefaultTenant != "" {
+		return c.DefaultTenant
+	}
+	return "default"
+}
+
+// maxOutcomes bounds the terminal-outcome memory (shed/expired/failed/
+// removed apps the core no longer knows about).
+const maxOutcomes = 8192
+
+// Server wires a core.Medea behind HTTP handlers and a scheduling loop.
+// The core is not concurrency-safe, so every core access goes through
+// s.mu; the submit hot path deliberately never takes it — admission
+// decisions read atomically published gauges the loop refreshes.
+type Server struct {
+	cfg   Config
+	mu    sync.Mutex // guards med and deadlines
+	med   *core.Medea
+	queue *submitQueue
+	adm   *Admission
+	rl    *TenantLimiter
+	Stats metrics.ServerStats
+
+	// deadlines holds propagated request deadlines for apps handed to
+	// the core, keyed by app ID (guarded by mu).
+	deadlines map[string]time.Time
+
+	// Gauges published by the scheduling loop for the lock-free accept
+	// path.
+	corePending atomic.Int64 // core pending LRAs + pending repairs
+	inflight    atomic.Int64 // scheduling batches currently running
+	journalLag  atomic.Int64
+
+	draining atomic.Bool
+
+	outMu    sync.Mutex
+	outcomes map[string]string // appID -> terminal outcome
+	outOrder []string
+
+	mux *http.ServeMux
+}
+
+// New builds a server over an existing scheduler instance. The caller
+// keeps ownership of the core's journal (Close it after Drain).
+func New(med *core.Medea, cfg Config) *Server {
+	if cfg.Admission == (AdmissionConfig{}) {
+		cfg.Admission = AdmissionConfig{
+			QueueHigh: cfg.queueCap(),
+			QueueLow:  cfg.queueCap() / 2,
+			LagHigh:   4096,
+			LagLow:    2048,
+		}
+	}
+	s := &Server{
+		cfg:       cfg,
+		med:       med,
+		queue:     newSubmitQueue(cfg.queueCap()),
+		adm:       NewAdmission(cfg.Admission),
+		rl:        NewTenantLimiter(cfg.RateLimit),
+		deadlines: make(map[string]time.Time),
+		outcomes:  make(map[string]string),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/lras", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/lras/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/lras/{id}", s.handleRemove)
+	s.mux.HandleFunc("POST /v1/constraints", s.handleConstraints)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// load assembles the admission controller's overload signal from the
+// published gauges — no core lock on the accept path.
+func (s *Server) load() Load {
+	return Load{
+		Queue:      s.queue.Len() + int(s.corePending.Load()),
+		Inflight:   int(s.inflight.Load()),
+		JournalLag: int(s.journalLag.Load()),
+	}
+}
+
+// setOutcome records a terminal outcome for an app the core will never
+// know about (shed, expired, failed) or no longer knows about (removed),
+// bounded to the most recent maxOutcomes entries.
+func (s *Server) setOutcome(appID, outcome string) {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if _, ok := s.outcomes[appID]; !ok {
+		s.outOrder = append(s.outOrder, appID)
+		if len(s.outOrder) > maxOutcomes {
+			delete(s.outcomes, s.outOrder[0])
+			s.outOrder = s.outOrder[1:]
+		}
+	}
+	s.outcomes[appID] = outcome
+}
+
+func (s *Server) getOutcome(appID string) (string, bool) {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	o, ok := s.outcomes[appID]
+	return o, ok
+}
+
+func (s *Server) clearOutcome(appID string) {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	delete(s.outcomes, appID)
+}
+
+// Wire types.
+
+// GroupSpec is one container group of a submission.
+type GroupSpec struct {
+	Name     string   `json:"name"`
+	Count    int      `json:"count"`
+	MemoryMB int64    `json:"memoryMB"`
+	VCores   int64    `json:"vcores"`
+	Tags     []string `json:"tags,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/lras payload. Constraints use the
+// textual syntax of the paper's §4.2, e.g. "{hb_rs, {hb_rs, 0, 1}, node}".
+type SubmitRequest struct {
+	ID          string      `json:"id"`
+	Groups      []GroupSpec `json:"groups"`
+	Constraints []string    `json:"constraints,omitempty"`
+	// Tenant attributes the submission for rate limiting; the
+	// X-Medea-Tenant header takes precedence.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders load shedding: when the submit queue is full, the
+	// lowest-priority queued work is shed first. Higher is better; 0 is
+	// the default.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMs is the request deadline: if no scheduling cycle picks
+	// the submission up within it, the submission is dropped and the
+	// status reports "expired". It also propagates into the cycle's
+	// solver budget. 0 = no deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// StatusResponse is the GET /v1/lras/{id} payload.
+type StatusResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Retries is the consumed retry budget (state "pending").
+	Retries int `json:"retries,omitempty"`
+	// Containers lists live containers with their nodes (state
+	// "deployed").
+	Containers []ContainerStatus `json:"containers,omitempty"`
+}
+
+// ContainerStatus is one live container of a deployed LRA.
+type ContainerStatus struct {
+	ID   string `json:"id"`
+	Node int    `json:"node"`
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 {
+		secs++ // round up: Retry-After is integral seconds
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// buildApplication converts the wire request into an lra.Application.
+func buildApplication(req *SubmitRequest) (*lra.Application, error) {
+	app := &lra.Application{ID: req.ID}
+	for _, g := range req.Groups {
+		tags := make([]constraint.Tag, len(g.Tags))
+		for i, t := range g.Tags {
+			tags[i] = constraint.Tag(t)
+		}
+		app.Groups = append(app.Groups, lra.ContainerGroup{
+			Name:   g.Name,
+			Count:  g.Count,
+			Demand: resource.New(g.MemoryMB, g.VCores),
+			Tags:   tags,
+		})
+	}
+	for _, cs := range req.Constraints {
+		c, err := constraint.Parse(cs)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %q: %w", cs, err)
+		}
+		app.Constraints = append(app.Constraints, c)
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// retryAfterHint resolves the Retry-After duration for overload
+// rejections.
+func (s *Server) retryAfterHint() time.Duration {
+	if s.cfg.Admission.RetryAfter > 0 {
+		return s.cfg.Admission.RetryAfter
+	}
+	return time.Second
+}
+
+// handleSubmit is the guarded accept path: drain gate, rate limit,
+// admission watermarks, bounded queue — in that order, all without the
+// core lock.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.Stats.AddRejectedDrain()
+		writeRetryAfter(w, s.retryAfterHint())
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request", Reason: err.Error()})
+		return
+	}
+	tenant := r.Header.Get("X-Medea-Tenant")
+	if tenant == "" {
+		tenant = req.Tenant
+	}
+	if tenant == "" {
+		tenant = s.cfg.defaultTenant()
+	}
+	now := s.now()
+	if ok, retry := s.rl.Allow(tenant, now); !ok {
+		s.Stats.AddThrottled()
+		writeRetryAfter(w, retry)
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "throttled", Reason: "tenant rate share exhausted"})
+		return
+	}
+	if ok, reason := s.adm.Admit(s.load()); !ok {
+		s.Stats.AddShedOverload()
+		writeRetryAfter(w, s.retryAfterHint())
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded", Reason: reason})
+		return
+	}
+	app, err := buildApplication(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid application", Reason: err.Error()})
+		return
+	}
+	if s.queue.Contains(app.ID) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "already queued"})
+		return
+	}
+	e := &submitEntry{app: app, tenant: tenant, priority: req.Priority, enqueued: now}
+	if req.TimeoutMs > 0 {
+		e.deadline = now.Add(time.Duration(req.TimeoutMs) * time.Millisecond)
+	}
+	victim, ok := s.queue.Push(e)
+	if !ok {
+		s.Stats.AddShedQueueFull()
+		writeRetryAfter(w, s.retryAfterHint())
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "queue full", Reason: "submission shed"})
+		return
+	}
+	if victim != nil {
+		s.Stats.AddShedQueueFull()
+		s.setOutcome(victim.app.ID, "shed")
+		s.logf("shed queued %s (priority %d) for %s (priority %d)",
+			victim.app.ID, victim.priority, app.ID, e.priority)
+	}
+	s.clearOutcome(app.ID) // resubmission after shed/expiry starts fresh
+	s.Stats.AddAdmitted()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": app.ID, "state": "queued"})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.queue.Contains(id) {
+		writeJSON(w, http.StatusOK, StatusResponse{ID: id, State: "queued"})
+		return
+	}
+	s.mu.Lock()
+	if ids, ok := s.med.Deployed(id); ok {
+		resp := StatusResponse{ID: id, State: "deployed"}
+		for _, cid := range ids {
+			node, _ := s.med.Cluster.ContainerNode(cid)
+			resp.Containers = append(resp.Containers, ContainerStatus{ID: string(cid), Node: int(node)})
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if retries, ok := s.med.PendingRetries(id); ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, StatusResponse{ID: id, State: "pending", Retries: retries})
+		return
+	}
+	rejected := false
+	for _, rid := range s.med.Rejected {
+		if rid == id {
+			rejected = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if rejected {
+		writeJSON(w, http.StatusOK, StatusResponse{ID: id, State: "rejected"})
+		return
+	}
+	if o, ok := s.getOutcome(id); ok {
+		writeJSON(w, http.StatusOK, StatusResponse{ID: id, State: o})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown application"})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.queue.Remove(id) {
+		s.setOutcome(id, "removed")
+		s.Stats.AddRemoved()
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "removed"})
+		return
+	}
+	s.mu.Lock()
+	err := s.med.RemoveLRA(id)
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	s.setOutcome(id, "removed")
+	s.Stats.AddRemoved()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "removed"})
+}
+
+// ConstraintRequest is the POST /v1/constraints payload: operator
+// constraints in the textual syntax.
+type ConstraintRequest struct {
+	Constraints []string `json:"constraints"`
+}
+
+func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	var req ConstraintRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request", Reason: err.Error()})
+		return
+	}
+	if len(req.Constraints) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no constraints"})
+		return
+	}
+	parsed := make([]constraint.Constraint, 0, len(req.Constraints))
+	for _, cs := range req.Constraints {
+		c, err := constraint.Parse(cs)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid constraint", Reason: err.Error()})
+			return
+		}
+		parsed = append(parsed, c)
+	}
+	s.mu.Lock()
+	err := s.med.Constraints.AddOperator(parsed...)
+	if err == nil {
+		// Operator constraints have no WAL record of their own: make them
+		// durable immediately via a checkpoint.
+		err = s.med.Checkpoint(s.now())
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"added": len(parsed)})
+}
+
+// StatsResponse is the GET /v1/stats payload.
+type StatsResponse struct {
+	Admitted      int  `json:"admitted"`
+	Throttled     int  `json:"throttled"`
+	ShedOverload  int  `json:"shed_overload"`
+	ShedQueueFull int  `json:"shed_queue_full"`
+	Expired       int  `json:"expired"`
+	RejectedDrain int  `json:"rejected_drain"`
+	SubmitErrors  int  `json:"submit_errors"`
+	Removed       int  `json:"removed"`
+	DrainFlushed  int  `json:"drain_flushed"`
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCap      int  `json:"queue_cap"`
+	CorePending   int  `json:"core_pending"`
+	JournalLag    int  `json:"journal_lag"`
+	Draining      bool `json:"draining"`
+
+	Shedding []string       `json:"shedding,omitempty"`
+	Tenants  []TenantCounts `json:"tenants,omitempty"`
+
+	Deployed int `json:"deployed"`
+	Rejected int `json:"rejected"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	deployed := s.med.DeployedLRAs()
+	rejected := len(s.med.Rejected)
+	s.mu.Unlock()
+	_, dims := s.adm.Shedding()
+	resp := StatsResponse{
+		Admitted:      s.Stats.Admitted(),
+		Throttled:     s.Stats.Throttled(),
+		ShedOverload:  s.Stats.ShedOverload(),
+		ShedQueueFull: s.Stats.ShedQueueFull(),
+		Expired:       s.Stats.Expired(),
+		RejectedDrain: s.Stats.RejectedDrain(),
+		SubmitErrors:  s.Stats.SubmitErrors(),
+		Removed:       s.Stats.Removed(),
+		DrainFlushed:  s.Stats.DrainFlushed(),
+		QueueDepth:    s.queue.Len(),
+		QueueCap:      s.cfg.queueCap(),
+		CorePending:   int(s.corePending.Load()),
+		JournalLag:    int(s.journalLag.Load()),
+		Draining:      s.draining.Load(),
+		Shedding:      dims,
+		Tenants:       s.rl.Snapshot(),
+		Deployed:      deployed,
+		Rejected:      rejected,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

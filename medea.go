@@ -87,6 +87,10 @@ type (
 	PipelineStats = metrics.PipelineStats
 	// BreakerEvent is one circuit-breaker state transition.
 	BreakerEvent = metrics.BreakerEvent
+	// ServerStats aggregates the serving layer's overload counters
+	// (admitted, throttled, shed, expired, drain-flushed); see
+	// internal/server and cmd/medea-server.
+	ServerStats = metrics.ServerStats
 	// AuditMode selects the post-commit cluster-invariant checker mode
 	// (Config.Audit).
 	AuditMode = audit.Mode
