@@ -459,6 +459,24 @@ func (m *Medea) SubmitTasks(appID, queue string, now time.Time, reqs ...taskched
 // PendingLRAs returns the number of LRAs awaiting a scheduling cycle.
 func (m *Medea) PendingLRAs() int { return len(m.pending) }
 
+// Capacity summarises the schedulable capacity of the cluster: resources
+// free and total on up nodes, and the node availability split. It is the
+// self-report a federation scout scores member clusters by — down or
+// draining nodes contribute to neither free nor total, so the score
+// tracks what a placement could actually use.
+func (m *Medea) Capacity() (free, total resource.Vector, up, nodes int) {
+	nodes = m.Cluster.NumNodes()
+	for _, n := range m.Cluster.Nodes() {
+		if !n.Available() {
+			continue
+		}
+		up++
+		free = free.Add(n.Free())
+		total = total.Add(n.Capacity)
+	}
+	return free, total, up, nodes
+}
+
 // DeployedLRAs returns the number of currently deployed LRAs.
 func (m *Medea) DeployedLRAs() int { return len(m.deployed) }
 

@@ -1,0 +1,574 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"medea/internal/metrics"
+	"medea/internal/resource"
+	"medea/internal/server"
+)
+
+// RouteConfig tunes the balancer's submit path.
+type RouteConfig struct {
+	// AttemptTimeout bounds one submit attempt against one member
+	// (0 = 250ms).
+	AttemptTimeout time.Duration
+	// MaxRounds is how many full passes over the ranked member list a
+	// submission gets before routing gives up (0 = 3).
+	MaxRounds int
+	// BackoffBase/BackoffMax shape the jittered exponential backoff
+	// between rounds (0 = 10ms / 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Sleep is the backoff sleeper (nil = time.Sleep). Tests inject a
+	// recorder to keep routing deterministic and instant.
+	Sleep func(time.Duration)
+	// Clock is the time source (nil = time.Now).
+	Clock func() time.Time
+}
+
+func (c RouteConfig) attemptTimeout() time.Duration {
+	if c.AttemptTimeout > 0 {
+		return c.AttemptTimeout
+	}
+	return 250 * time.Millisecond
+}
+
+func (c RouteConfig) maxRounds() int {
+	if c.MaxRounds > 0 {
+		return c.MaxRounds
+	}
+	return 3
+}
+
+func (c RouteConfig) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 10 * time.Millisecond
+}
+
+func (c RouteConfig) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 250 * time.Millisecond
+}
+
+// routedApp is the balancer's ledger entry for one acknowledged
+// submission: enough to re-place it elsewhere (the original body), where
+// it lives now, and which members might hold a duplicate from a
+// timed-out attempt.
+type routedApp struct {
+	id       string
+	body     []byte
+	demand   resource.Vector
+	home     string
+	degraded bool
+	// ambiguous lists members whose submit attempt timed out after the
+	// request may have been accepted: until reconciled, the app might be
+	// duplicated there.
+	ambiguous map[string]bool
+}
+
+// Balancer routes LRA submissions across the federation's members using
+// the scout's health and capacity knowledge, and owns the cross-cluster
+// lifecycle afterwards: spillover when a member sheds load, failover
+// when the detector confirms a member dead, a degraded queue when the
+// survivors cannot absorb the refugees, and reconciliation of timed-out
+// attempts that may have landed.
+type Balancer struct {
+	cfg   RouteConfig
+	scout *Scout
+	Stats *metrics.FedStats
+
+	mu     sync.Mutex
+	routed map[string]*routedApp
+	// degradedOrder preserves FIFO recovery order for degraded apps.
+	degradedOrder []string
+
+	logf func(format string, args ...any)
+}
+
+// NewBalancer builds a balancer over the scout's members.
+func NewBalancer(cfg RouteConfig, scout *Scout, stats *metrics.FedStats, logf func(string, ...any)) *Balancer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Balancer{cfg: cfg, scout: scout, Stats: stats, routed: make(map[string]*routedApp), logf: logf}
+}
+
+func (b *Balancer) now() time.Time {
+	if b.cfg.Clock != nil {
+		return b.cfg.Clock()
+	}
+	return time.Now()
+}
+
+func (b *Balancer) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if b.cfg.Sleep != nil {
+		b.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// routeBackoff is the jittered exponential backoff between routing
+// rounds: pure-function jitter (FNV of app ID and round), the repo-wide
+// idiom, so concurrent submissions back off on distinct schedules
+// without shared RNG state.
+func (b *Balancer) routeBackoff(appID string, round int) time.Duration {
+	d := b.cfg.backoffBase() << uint(round)
+	if max := b.cfg.backoffMax(); d > max {
+		d = max
+	}
+	window := d / 2
+	if window <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", appID, round)
+	return d + time.Duration(h.Sum64()%uint64(window))
+}
+
+// totalDemand sums a submission's container demand for capacity-aware
+// ranking.
+func totalDemand(req *server.SubmitRequest) resource.Vector {
+	var total resource.Vector
+	for _, g := range req.Groups {
+		total = total.Add(resource.New(g.MemoryMB*int64(g.Count), g.VCores*int64(g.Count)))
+	}
+	return total
+}
+
+// Submit routes one submission: members are tried in the scout's rank
+// order; a 202 homes the app, overload answers (429/503) spill over to
+// the next member, timeouts are remembered as possible duplicates, and
+// exhausted rounds are retried after a jittered exponential backoff.
+// It returns the member that accepted the app.
+func (b *Balancer) Submit(req *server.SubmitRequest) (home string, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("federation: encoding submission %s: %w", req.ID, err)
+	}
+	demand := totalDemand(req)
+	ambiguous := make(map[string]bool)
+	for round := 0; round < b.cfg.maxRounds(); round++ {
+		if round > 0 {
+			b.Stats.AddRouteRetry()
+			b.sleep(b.routeBackoff(req.ID, round))
+		}
+		order := b.scout.Rank(demand, b.now())
+		for _, id := range order {
+			code, routeErr := b.trySubmit(id, body)
+			switch {
+			case routeErr != nil:
+				if errors.Is(routeErr, context.DeadlineExceeded) {
+					// The attempt timed out after the member may have
+					// accepted it: remember the possible duplicate.
+					ambiguous[id] = true
+				}
+				continue
+			case code == http.StatusAccepted, code == http.StatusConflict:
+				// 409 means the member already holds this app (a previous
+				// ambiguous attempt landed): adopt it as the home.
+				b.record(req.ID, body, demand, id, ambiguous)
+				b.Stats.AddRouted()
+				return id, nil
+			case code == http.StatusTooManyRequests, code == http.StatusServiceUnavailable:
+				b.Stats.AddSpillover()
+				continue
+			default:
+				// 400 and kin: no member will accept this payload.
+				b.Stats.AddRouteFailure()
+				return "", fmt.Errorf("federation: member %s rejected %s permanently (status %d)", id, req.ID, code)
+			}
+		}
+	}
+	b.Stats.AddRouteFailure()
+	return "", fmt.Errorf("federation: no member accepted %s within %d rounds", req.ID, b.cfg.maxRounds())
+}
+
+// trySubmit posts the submission to one member under the attempt
+// timeout.
+func (b *Balancer) trySubmit(memberID string, body []byte) (int, error) {
+	m := b.scout.Member(memberID)
+	if m == nil {
+		return 0, fmt.Errorf("unknown member %s", memberID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+memberID+"/v1/lras", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.Client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// record notes an app's home in the ledger (and any ambiguous members
+// other than the home itself).
+func (b *Balancer) record(id string, body []byte, demand resource.Vector, home string, ambiguous map[string]bool) {
+	delete(ambiguous, home)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a := b.routed[id]
+	if a == nil {
+		a = &routedApp{id: id, body: body, demand: demand, ambiguous: make(map[string]bool)}
+		b.routed[id] = a
+	}
+	a.home = home
+	a.degraded = false
+	for m := range ambiguous {
+		a.ambiguous[m] = true
+	}
+}
+
+// Step runs one federation control round at now: probe every member,
+// fail over apps homed on newly confirmed-dead members, retry the
+// degraded queue, and reconcile timed-out attempts. It is the
+// single-threaded heart of the balancer; submissions may race it.
+func (b *Balancer) Step(now time.Time) {
+	// debits tracks capacity this round has already promised away per
+	// member: the scout's reports only refresh once per round, so placing
+	// two refugees against the same stale report would overcommit the
+	// survivor and get the second one rejected by its core.
+	debits := make(map[string]resource.Vector)
+	for _, dead := range b.scout.ProbeAll(now) {
+		b.failover(dead, now, debits)
+	}
+	b.retryDegraded(now, debits)
+	b.reconcileAmbiguous(now)
+}
+
+// failover re-places every app homed on the dead member onto survivors.
+// Apps the survivors cannot absorb enter degraded mode: parked in the
+// ledger, surfaced in stats, retried every Step until capacity appears.
+// The dead member's journaled state is not forgotten — a future
+// incarnation recovering it would be reconciled as duplicates — but the
+// fleet stops waiting for it.
+func (b *Balancer) failover(deadID string, now time.Time, debits map[string]resource.Vector) {
+	b.mu.Lock()
+	var refugees []*routedApp
+	for _, a := range b.routed {
+		if a.home == deadID && !a.degraded {
+			refugees = append(refugees, a)
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(refugees, func(i, j int) bool { return refugees[i].id < refugees[j].id })
+	b.Stats.AddFailoverEvent()
+	b.logf("federation: member %s confirmed dead; failing over %d apps", deadID, len(refugees))
+	for _, a := range refugees {
+		if home, ok := b.placeOnce(a, now, debits); ok {
+			b.Stats.AddFailoverReplaced()
+			b.logf("federation: %s re-homed %s -> %s", a.id, deadID, home)
+			continue
+		}
+		b.mu.Lock()
+		if !a.degraded {
+			a.degraded = true
+			a.home = ""
+			b.degradedOrder = append(b.degradedOrder, a.id)
+		}
+		b.mu.Unlock()
+		b.Stats.AddDegradedQueued()
+		b.logf("federation: %s degraded: no surviving capacity", a.id)
+	}
+}
+
+// placeOnce tries ranked members once for an app being re-placed (no
+// backoff rounds: the caller's control loop is the retry). Unlike the
+// client submit path it only offers the app to members whose reported
+// free capacity fits — a refugee handed to a full survivor would be
+// acknowledged and then sit unplaceable until the core rejects it,
+// which is worse than honest degraded mode at the balancer.
+func (b *Balancer) placeOnce(a *routedApp, now time.Time, debits map[string]resource.Vector) (string, bool) {
+	for _, id := range b.scout.Rank(a.demand, now) {
+		rep, ok := b.scout.LastReport(id)
+		if !ok || !a.demand.Fits(rep.Free.Sub(debits[id])) {
+			continue
+		}
+		code, err := b.trySubmit(id, a.body)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				b.mu.Lock()
+				a.ambiguous[id] = true
+				b.mu.Unlock()
+			}
+			continue
+		}
+		if code == http.StatusAccepted || code == http.StatusConflict {
+			b.mu.Lock()
+			a.home = id
+			a.degraded = false
+			delete(a.ambiguous, id)
+			b.mu.Unlock()
+			debits[id] = debits[id].Add(a.demand)
+			return id, true
+		}
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			b.Stats.AddSpillover()
+		}
+	}
+	return "", false
+}
+
+// retryDegraded gives each degraded app one placement pass, in FIFO
+// order; successes leave the queue.
+func (b *Balancer) retryDegraded(now time.Time, debits map[string]resource.Vector) {
+	b.mu.Lock()
+	order := append([]string(nil), b.degradedOrder...)
+	b.mu.Unlock()
+	var still []string
+	for _, id := range order {
+		b.mu.Lock()
+		a := b.routed[id]
+		degraded := a != nil && a.degraded
+		b.mu.Unlock()
+		if !degraded {
+			continue
+		}
+		if home, ok := b.placeOnce(a, now, debits); ok {
+			b.Stats.AddDegradedRecovered()
+			b.logf("federation: %s recovered from degraded mode -> %s", id, home)
+			continue
+		}
+		still = append(still, id)
+	}
+	b.mu.Lock()
+	b.degradedOrder = still
+	b.mu.Unlock()
+}
+
+// reconcileAmbiguous resolves timed-out attempts: if a member that timed
+// out during routing turns out to hold the app while it is homed
+// elsewhere, the duplicate is deleted; if the app ended up with no home
+// (routing gave up after the timeout), the landed copy is adopted.
+func (b *Balancer) reconcileAmbiguous(now time.Time) {
+	b.mu.Lock()
+	var pending []*routedApp
+	for _, a := range b.routed {
+		if len(a.ambiguous) > 0 {
+			pending = append(pending, a)
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(pending, func(i, j int) bool { return pending[i].id < pending[j].id })
+	for _, a := range pending {
+		b.mu.Lock()
+		members := make([]string, 0, len(a.ambiguous))
+		for id := range a.ambiguous {
+			members = append(members, id)
+		}
+		home := a.home
+		b.mu.Unlock()
+		sort.Strings(members)
+		for _, id := range members {
+			if b.scout.State(id, now) == Dead {
+				// A dead member cannot serve a duplicate; drop the mark.
+				b.mu.Lock()
+				delete(a.ambiguous, id)
+				b.mu.Unlock()
+				continue
+			}
+			code, _, err := b.getStatus(id, a.id)
+			if err != nil {
+				continue // unreachable: try again next Step
+			}
+			switch {
+			case code == http.StatusNotFound:
+				b.mu.Lock()
+				delete(a.ambiguous, id)
+				b.mu.Unlock()
+			case code == http.StatusOK && home == "":
+				b.mu.Lock()
+				a.home = id
+				a.degraded = false
+				delete(a.ambiguous, id)
+				b.mu.Unlock()
+				home = id
+				b.Stats.AddReconciled()
+			case code == http.StatusOK:
+				if rmErr := b.remove(id, a.id); rmErr == nil {
+					b.mu.Lock()
+					delete(a.ambiguous, id)
+					b.mu.Unlock()
+					b.Stats.AddReconciled()
+					b.logf("federation: removed duplicate %s from %s (home %s)", a.id, id, home)
+				}
+			}
+		}
+	}
+}
+
+// getStatus fetches an app's status from one member.
+func (b *Balancer) getStatus(memberID, appID string) (int, server.StatusResponse, error) {
+	m := b.scout.Member(memberID)
+	if m == nil {
+		return 0, server.StatusResponse{}, fmt.Errorf("unknown member %s", memberID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+memberID+"/v1/lras/"+appID, nil)
+	if err != nil {
+		return 0, server.StatusResponse{}, err
+	}
+	resp, err := m.Client().Do(req)
+	if err != nil {
+		return 0, server.StatusResponse{}, err
+	}
+	defer resp.Body.Close()
+	var sr server.StatusResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	return resp.StatusCode, sr, nil
+}
+
+// remove deletes an app from one member.
+func (b *Balancer) remove(memberID, appID string) error {
+	m := b.scout.Member(memberID)
+	if m == nil {
+		return fmt.Errorf("unknown member %s", memberID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.attemptTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, "http://"+memberID+"/v1/lras/"+appID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.Client().Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remove %s from %s: status %d", appID, memberID, resp.StatusCode)
+	}
+	return nil
+}
+
+// Home returns the member currently homing the app ("" when degraded or
+// unknown) and whether the app is in the ledger.
+func (b *Balancer) Home(appID string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a := b.routed[appID]
+	if a == nil {
+		return "", false
+	}
+	return a.home, true
+}
+
+// Status proxies a status query to the app's home member. Degraded apps
+// report state "degraded" locally.
+func (b *Balancer) Status(appID string) (server.StatusResponse, error) {
+	b.mu.Lock()
+	a := b.routed[appID]
+	b.mu.Unlock()
+	if a == nil {
+		return server.StatusResponse{}, fmt.Errorf("federation: unknown app %s", appID)
+	}
+	if a.degraded {
+		return server.StatusResponse{ID: appID, State: "degraded"}, nil
+	}
+	code, sr, err := b.getStatus(a.home, appID)
+	if err != nil {
+		return server.StatusResponse{}, err
+	}
+	if code != http.StatusOK {
+		return server.StatusResponse{}, fmt.Errorf("federation: %s status on %s: %d", appID, a.home, code)
+	}
+	return sr, nil
+}
+
+// Remove tears an app down fleet-wide: from its home member and from the
+// ledger (degraded apps just leave the queue).
+func (b *Balancer) Remove(appID string) error {
+	b.mu.Lock()
+	a := b.routed[appID]
+	b.mu.Unlock()
+	if a == nil {
+		return fmt.Errorf("federation: unknown app %s", appID)
+	}
+	if !a.degraded && a.home != "" {
+		if err := b.remove(a.home, appID); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	delete(b.routed, appID)
+	b.mu.Unlock()
+	return nil
+}
+
+// AuditReport is the fleet-wide accounting of every acknowledged
+// submission. The zero-loss invariant the chaos gates check: Lost stays
+// empty — every routed app is either placed on a live member, parked in
+// the degraded queue, explicitly rejected by a scheduler, or transiently
+// homed on a member awaiting failover/unreachable (OnDead).
+type AuditReport struct {
+	Routed   int
+	Placed   int
+	Degraded int
+	OnDead   int
+	Rejected int
+	Lost     []string
+}
+
+// Audit verifies the ledger against the members at now.
+func (b *Balancer) Audit(now time.Time) AuditReport {
+	b.mu.Lock()
+	apps := make([]*routedApp, 0, len(b.routed))
+	for _, a := range b.routed {
+		apps = append(apps, a)
+	}
+	b.mu.Unlock()
+	sort.Slice(apps, func(i, j int) bool { return apps[i].id < apps[j].id })
+	rep := AuditReport{Routed: len(apps)}
+	for _, a := range apps {
+		b.mu.Lock()
+		home, degraded := a.home, a.degraded
+		b.mu.Unlock()
+		switch {
+		case degraded:
+			rep.Degraded++
+		case home == "":
+			rep.Lost = append(rep.Lost, a.id)
+		case b.scout.State(home, now) == Dead:
+			rep.OnDead++
+		default:
+			code, sr, err := b.getStatus(home, a.id)
+			switch {
+			case err != nil:
+				rep.OnDead++ // unreachable home: failover pending
+			case code != http.StatusOK:
+				rep.Lost = append(rep.Lost, a.id)
+			case sr.State == "queued" || sr.State == "deployed" || sr.State == "pending":
+				rep.Placed++
+			case sr.State == "rejected":
+				rep.Rejected++
+			default:
+				// shed/expired/failed: the ack was not honored.
+				rep.Lost = append(rep.Lost, a.id)
+			}
+		}
+	}
+	return rep
+}

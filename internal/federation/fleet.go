@@ -1,0 +1,247 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"medea/internal/core"
+	"medea/internal/journal"
+	"medea/internal/metrics"
+	"medea/internal/resource"
+	"medea/internal/server"
+)
+
+// FleetConfig sizes a simulated federation: N identical member clusters
+// plus the scout/balancer layer over them.
+type FleetConfig struct {
+	// Members is the number of member clusters (0 = 3).
+	Members int
+	// NodesPerMember / RackSize / NodeCapacity size each member's grid
+	// (0 = 16 nodes, racks of 4, 16384 MB × 16 vcores).
+	NodesPerMember int
+	RackSize       int
+	NodeCapacity   resource.Vector
+	// Core is each member's scheduler config (zero Interval = 50ms).
+	Core core.Config
+	// Server is each member's serving config; Clock and Logf are
+	// overridden by the fleet's.
+	Server server.Config
+	// JournalRoot, when set, gives each member a file-backed journal in
+	// JournalRoot/<member-id> with the given SyncEvery policy; empty uses
+	// in-memory journals.
+	JournalRoot string
+	SyncEvery   int
+	// Scout and Route tune the federation layer.
+	Scout ScoutConfig
+	Route RouteConfig
+	// Clock is the time source shared by members and the balancer
+	// (nil = time.Now).
+	Clock func() time.Time
+	// Logf receives operational lines (nil = discarded).
+	Logf func(format string, args ...any)
+}
+
+func (c FleetConfig) members() int {
+	if c.Members > 0 {
+		return c.Members
+	}
+	return 3
+}
+
+func (c FleetConfig) nodesPerMember() int {
+	if c.NodesPerMember > 0 {
+		return c.NodesPerMember
+	}
+	return 16
+}
+
+func (c FleetConfig) rackSize() int {
+	if c.RackSize > 0 {
+		return c.RackSize
+	}
+	return 4
+}
+
+func (c FleetConfig) nodeCapacity() resource.Vector {
+	if c.NodeCapacity != (resource.Vector{}) {
+		return c.NodeCapacity
+	}
+	return resource.New(16384, 16)
+}
+
+func (c FleetConfig) probeInterval() time.Duration {
+	if c.Scout.ProbeInterval > 0 {
+		return c.Scout.ProbeInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// Fleet is the running federation: the members, the scout watching
+// them, and the balancer routing over them. It implements the chaos
+// layer's FleetTarget so scripted cluster-level failures can be driven
+// against it.
+type Fleet struct {
+	cfg      FleetConfig
+	Members  []*Member
+	Scout    *Scout
+	Balancer *Balancer
+	Stats    *metrics.FedStats
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	mu     sync.Mutex
+	byID   map[string]*Member
+}
+
+// NewFleet builds the federation.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Core.Interval == 0 {
+		cfg.Core.Interval = 50 * time.Millisecond
+	}
+	now := time.Now()
+	if cfg.Clock != nil {
+		now = cfg.Clock()
+	}
+	f := &Fleet{cfg: cfg, Stats: &metrics.FedStats{}, byID: make(map[string]*Member)}
+	for i := 0; i < cfg.members(); i++ {
+		id := fmt.Sprintf("cluster-%d", i)
+		var jnl journal.Journal
+		if cfg.JournalRoot != "" {
+			fj, err := journal.OpenDirWith(filepath.Join(cfg.JournalRoot, id), journal.FileConfig{SyncEvery: cfg.SyncEvery})
+			if err != nil {
+				return nil, fmt.Errorf("federation: journal for %s: %w", id, err)
+			}
+			jnl = fj
+		}
+		srvCfg := cfg.Server
+		srvCfg.Clock = cfg.Clock
+		srvCfg.Logf = nil // member chatter stays out of the fleet log
+		m, err := NewMember(MemberConfig{
+			ID:       id,
+			Nodes:    cfg.nodesPerMember(),
+			RackSize: cfg.rackSize(),
+			NodeCap:  cfg.nodeCapacity(),
+			Core:     cfg.Core,
+			Server:   srvCfg,
+			Journal:  jnl,
+			Now:      now,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Members = append(f.Members, m)
+		f.byID[id] = m
+	}
+	f.Scout = NewScout(cfg.Scout, f.Members, f.Stats)
+	f.Balancer = NewBalancer(cfg.Route, f.Scout, f.Stats, cfg.Logf)
+	return f, nil
+}
+
+// Start runs every member's scheduling loop plus the federation control
+// loop (probe + failover + degraded retry) in real time until ctx is
+// done.
+func (f *Fleet) Start(ctx context.Context) {
+	ctx, f.cancel = context.WithCancel(ctx)
+	f.done = make(chan struct{})
+	for _, m := range f.Members {
+		m.Start(ctx)
+	}
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(f.cfg.probeInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				now := time.Now()
+				if f.cfg.Clock != nil {
+					now = f.cfg.Clock()
+				}
+				f.Balancer.Step(now)
+			}
+		}
+	}()
+}
+
+// Step drives one synchronous fleet round at now: every live member's
+// scheduling loop, then the federation control loop (tests and
+// deterministic harnesses).
+func (f *Fleet) Step(now time.Time) {
+	for _, m := range f.Members {
+		m.Step()
+	}
+	f.Balancer.Step(now)
+}
+
+// Close stops the loops and closes every member's journal.
+func (f *Fleet) Close() {
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+		f.cancel = nil
+	}
+	for _, m := range f.Members {
+		m.Close()
+		_ = m.Jnl.Close()
+	}
+}
+
+// MemberIDs implements the chaos FleetTarget.
+func (f *Fleet) MemberIDs() []string {
+	ids := make([]string, len(f.Members))
+	for i, m := range f.Members {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// CrashMember implements the chaos FleetTarget: the member's loop stops
+// and its API becomes unreachable, as if the cluster's scheduler host
+// died. Reports whether the member exists.
+func (f *Fleet) CrashMember(id string) bool {
+	m := f.byID[id]
+	if m == nil {
+		return false
+	}
+	m.Crash()
+	return true
+}
+
+// PartitionMember implements the chaos FleetTarget: the member keeps
+// scheduling but the balancer cannot reach it.
+func (f *Fleet) PartitionMember(id string, partitioned bool) bool {
+	m := f.byID[id]
+	if m == nil {
+		return false
+	}
+	m.Gate.Partition(partitioned)
+	return true
+}
+
+// SlowMember implements the chaos FleetTarget: every Nth request to the
+// member stalls for delay — the Byzantine slow-but-alive case the
+// failure detector must not confuse with death.
+func (f *Fleet) SlowMember(id string, delay time.Duration, every int) bool {
+	m := f.byID[id]
+	if m == nil {
+		return false
+	}
+	m.Gate.Slow(delay, every)
+	return true
+}
+
+// HealMember implements the chaos FleetTarget: partition and slowness
+// are lifted (a crash is permanent within a run).
+func (f *Fleet) HealMember(id string) bool {
+	m := f.byID[id]
+	if m == nil {
+		return false
+	}
+	m.Gate.Heal()
+	return true
+}

@@ -1,0 +1,252 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"medea/internal/cluster"
+	"medea/internal/core"
+	"medea/internal/journal"
+	"medea/internal/lra"
+	"medea/internal/resource"
+	"medea/internal/server"
+)
+
+// Gate is a member's fault-injection valve, sitting between the
+// balancer/scout and the member's HTTP handler. The chaos layer flips it
+// to simulate a crashed member (process gone), a partitioned member
+// (process fine, network gone) and a Byzantine slow member (alive but
+// answering probes late). It is concurrency-safe: the balancer's submit
+// path and the chaos script race on it by design.
+type Gate struct {
+	mu          sync.Mutex
+	crashed     bool
+	partitioned bool
+	probeDelay  time.Duration
+	slowEvery   int // delay only every Nth call (0 = every call)
+	calls       int
+}
+
+// Crash marks the member's process as gone.
+func (g *Gate) Crash() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed = true
+}
+
+// Partition severs (true) or restores (false) the member's network.
+func (g *Gate) Partition(p bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.partitioned = p
+}
+
+// Slow makes every Nth request (every request when every <= 1) stall for
+// delay before being served; 0 delay disables.
+func (g *Gate) Slow(delay time.Duration, every int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.probeDelay = delay
+	g.slowEvery = every
+	g.calls = 0
+}
+
+// Heal clears the partition and slowness (a crash is permanent: the
+// simulated process does not restart within a run).
+func (g *Gate) Heal() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.partitioned = false
+	g.probeDelay = 0
+	g.slowEvery = 0
+}
+
+// Crashed reports whether the member's process is gone.
+func (g *Gate) Crashed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.crashed
+}
+
+// admit decides one request's fate: an error (unreachable) or a delay to
+// serve after.
+func (g *Gate) admit() (delay time.Duration, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.crashed {
+		return 0, fmt.Errorf("member crashed: connection refused")
+	}
+	if g.partitioned {
+		return 0, fmt.Errorf("member partitioned: network unreachable")
+	}
+	if g.probeDelay > 0 {
+		g.calls++
+		if g.slowEvery <= 1 || g.calls%g.slowEvery == 0 {
+			return g.probeDelay, nil
+		}
+	}
+	return 0, nil
+}
+
+// Member is one simulated cluster of the federation: a full journaled
+// scheduler core behind the serving layer, reachable only through an
+// in-process HTTP transport guarded by its fault Gate — the balancer and
+// scout cannot cheat past the member's own overload control or the
+// injected faults.
+type Member struct {
+	ID   string
+	Srv  *server.Server
+	Med  *core.Medea
+	Jnl  journal.Journal
+	Gate *Gate
+
+	client *http.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// MemberConfig sizes one member cluster.
+type MemberConfig struct {
+	ID       string
+	Nodes    int
+	RackSize int
+	NodeCap  resource.Vector
+	Core     core.Config
+	Server   server.Config
+	Journal  journal.Journal // nil = in-memory
+	Now      time.Time       // journal attach time
+}
+
+// NewMember builds a member cluster with its serving layer and journal
+// attached.
+func NewMember(cfg MemberConfig) (*Member, error) {
+	cl := cluster.Grid(cfg.Nodes, cfg.RackSize, cfg.NodeCap)
+	med := core.New(cl, lra.NewNodeCandidates(), cfg.Core)
+	jnl := cfg.Journal
+	if jnl == nil {
+		jnl = journal.NewMemory()
+	}
+	if err := med.AttachJournal(jnl, cfg.Now); err != nil {
+		return nil, fmt.Errorf("federation: member %s journal: %w", cfg.ID, err)
+	}
+	srv := server.New(med, cfg.Server)
+	m := &Member{ID: cfg.ID, Srv: srv, Med: med, Jnl: jnl, Gate: &Gate{}}
+	m.client = &http.Client{Transport: &memberTransport{m: m}}
+	return m, nil
+}
+
+// Client returns an HTTP client whose transport dispatches in-process to
+// this member's handler, subject to its fault gate.
+func (m *Member) Client() *http.Client { return m.client }
+
+// Start runs the member's scheduling loop until ctx is done or the
+// member is crashed.
+func (m *Member) Start(ctx context.Context) {
+	ctx, m.cancel = context.WithCancel(ctx)
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		m.Srv.Run(ctx)
+	}()
+}
+
+// Step runs one scheduling-loop iteration synchronously (test fleets);
+// no-op once crashed.
+func (m *Member) Step() {
+	if m.Gate.Crashed() {
+		return
+	}
+	m.Srv.Step()
+}
+
+// Crash kills the member: the loop stops and every subsequent request is
+// refused at the transport.
+func (m *Member) Crash() {
+	m.Gate.Crash()
+	if m.cancel != nil {
+		m.cancel()
+		<-m.done
+	}
+}
+
+// Close stops a running loop without marking the member crashed.
+func (m *Member) Close() {
+	if m.cancel != nil {
+		m.cancel()
+		<-m.done
+		m.cancel = nil
+	}
+}
+
+// memberTransport serves HTTP requests directly against the member's
+// handler — no sockets — while honoring the fault gate and the request
+// context: a crashed or partitioned member refuses immediately, a slow
+// member stalls until its injected delay or the caller's deadline,
+// whichever comes first.
+type memberTransport struct {
+	m *Member
+}
+
+func (t *memberTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// http.Client wraps any error returned here in *url.Error, exactly as
+	// a real network transport's failures are surfaced.
+	delay, err := t.m.Gate.admit()
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.m.Srv.Handler().ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+		ContentLength: int64(rec.buf.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is the minimal http.ResponseWriter the in-process
+// transport needs (httptest is off-limits outside _test files).
+type responseRecorder struct {
+	header      http.Header
+	buf         bytes.Buffer
+	code        int
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if !r.wroteHeader {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.buf.Write(b)
+}

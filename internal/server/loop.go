@@ -125,6 +125,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil // already draining
 	}
+	// Close the queue before the final flush: a submit that slipped past
+	// the draining gate either pushed before the close (and is flushed
+	// into the journaled core below, honoring its 202) or finds the queue
+	// closed and gets a clean 503 — an acknowledged submission is never
+	// stranded in a queue nothing will read again.
+	s.queue.Close()
 	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()

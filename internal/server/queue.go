@@ -32,10 +32,23 @@ type submitQueue struct {
 	mu      sync.Mutex
 	cap     int
 	entries []*submitEntry // FIFO
+	// closed permanently rejects further Pushes. Drain sets it under the
+	// queue lock before the final flush, so a submit racing the drain
+	// either lands before the flush (and is journaled) or gets a clean
+	// rejection — never an acknowledged entry left behind in the queue.
+	closed bool
 }
 
 func newSubmitQueue(capacity int) *submitQueue {
 	return &submitQueue{cap: capacity}
+}
+
+// Close permanently rejects further Pushes; queued entries stay for
+// Drain. Idempotent.
+func (q *submitQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
 }
 
 // Len returns the current queue depth.
@@ -45,15 +58,27 @@ func (q *submitQueue) Len() int {
 	return len(q.entries)
 }
 
+// pushResult is the outcome of a Push attempt.
+type pushResult int
+
+const (
+	pushAdmitted pushResult = iota // e is queued (possibly evicting a victim)
+	pushFull                       // queue full and nothing outranked: e rejected
+	pushClosed                     // queue closed by drain: e rejected
+)
+
 // Push admits e, possibly evicting a lower-priority victim when the
-// queue is full. It returns the evicted entry (nil if none) and whether
-// e was admitted.
-func (q *submitQueue) Push(e *submitEntry) (victim *submitEntry, ok bool) {
+// queue is full. It returns the evicted entry (nil if none) and the
+// admission outcome.
+func (q *submitQueue) Push(e *submitEntry) (victim *submitEntry, res pushResult) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed {
+		return nil, pushClosed
+	}
 	if len(q.entries) < q.cap {
 		q.entries = append(q.entries, e)
-		return nil, true
+		return nil, pushAdmitted
 	}
 	// Full: find the lowest-priority entry, youngest within the priority.
 	vi := -1
@@ -63,12 +88,12 @@ func (q *submitQueue) Push(e *submitEntry) (victim *submitEntry, ok bool) {
 		}
 	}
 	if vi == -1 || q.entries[vi].priority >= e.priority {
-		return nil, false // nothing outranked: reject the newcomer
+		return nil, pushFull // nothing outranked: reject the newcomer
 	}
 	victim = q.entries[vi]
 	q.entries = append(q.entries[:vi], q.entries[vi+1:]...)
 	q.entries = append(q.entries, e)
-	return victim, true
+	return victim, pushAdmitted
 }
 
 // Drain removes and returns every queued entry, in FIFO order.

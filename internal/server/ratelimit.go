@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -22,6 +24,13 @@ type RateLimitConfig struct {
 	// tenants are evicted so a burst of one-off tenants does not
 	// permanently dilute everyone's share.
 	IdleAfter time.Duration
+	// RetryJitter widens each throttled client's Retry-After hint by a
+	// deterministic pseudo-random amount in [0, RetryJitter × retry):
+	// clients throttled together get distinct retry horizons, so N
+	// federated balancers backing off from the same 429 burst do not
+	// resynchronize into a retry storm. 0 = the default 0.5; negative
+	// disables jitter (exact horizons, for tests and simulations).
+	RetryJitter float64
 }
 
 func (c RateLimitConfig) burst() float64 {
@@ -39,6 +48,31 @@ func (c RateLimitConfig) idleAfter() time.Duration {
 		return c.IdleAfter
 	}
 	return time.Minute
+}
+
+func (c RateLimitConfig) retryJitter() float64 {
+	if c.RetryJitter > 0 {
+		return c.RetryJitter
+	}
+	if c.RetryJitter < 0 {
+		return 0
+	}
+	return 0.5
+}
+
+// retryJitterFor widens a retry hint by a deterministic pseudo-random
+// amount in [0, frac × retry), keyed by (key, n). Like the repair
+// backoff's FNV jitter, the schedule is a pure function of its inputs —
+// no mutable RNG state — so two callers with distinct keys (or the same
+// caller on consecutive rejections) are de-synchronized reproducibly.
+func retryJitterFor(retry time.Duration, frac float64, key string, n int64) time.Duration {
+	window := time.Duration(frac * float64(retry))
+	if window <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, n)
+	return time.Duration(h.Sum64() % uint64(window))
 }
 
 // tenantBucket is one tenant's token bucket plus its counters.
@@ -100,6 +134,7 @@ func (l *TenantLimiter) Allow(tenant string, now time.Time) (bool, time.Duration
 	if retry < time.Millisecond {
 		retry = time.Millisecond
 	}
+	retry += retryJitterFor(retry, l.cfg.retryJitter(), tenant, b.throttled)
 	return false, retry
 }
 

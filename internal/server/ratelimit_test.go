@@ -168,3 +168,41 @@ func TestLimiterConcurrentAccess(t *testing.T) {
 		t.Errorf("per-tenant admitted sums to %d, counted %d", sum, admitted)
 	}
 }
+
+// TestRetryHintsJittered: clients throttled in the same instant must get
+// distinct retry horizons, so a burst of synchronized federated
+// balancers does not come back as a synchronized retry storm. Covers
+// both distinct tenants throttled together and one tenant throttled
+// repeatedly, plus the negative-sentinel opt-out.
+func TestRetryHintsJittered(t *testing.T) {
+	l := NewTenantLimiter(RateLimitConfig{GlobalRate: 2, Burst: 1})
+	now := rlT0
+	// Burn both tenants' bursts, then throttle them at the same instant.
+	l.Allow("a", now)
+	l.Allow("b", now)
+	_, retryA := l.Allow("a", now)
+	_, retryB := l.Allow("b", now)
+	if retryA == retryB {
+		t.Errorf("tenants throttled together got identical retry horizons %v", retryA)
+	}
+	// The same tenant throttled twice in a row gets fresh jitter too.
+	_, retryA2 := l.Allow("a", now)
+	if retryA == retryA2 {
+		t.Errorf("consecutive throttles of one tenant got identical horizons %v", retryA)
+	}
+	// Jitter is bounded: at most retryJitter() x the base hint on top.
+	base := time.Duration(float64(time.Second) / 1) // share 1/s, 1 missing token
+	if retryA > base+base/2+time.Millisecond || retryB > base+base/2+time.Millisecond {
+		t.Errorf("jittered hints %v / %v exceed base %v + 50%%", retryA, retryB, base)
+	}
+
+	// Negative RetryJitter disables jitter: horizons are exact and equal.
+	exact := NewTenantLimiter(RateLimitConfig{GlobalRate: 2, Burst: 1, RetryJitter: -1})
+	exact.Allow("a", now)
+	exact.Allow("b", now)
+	_, exactA := exact.Allow("a", now)
+	_, exactB := exact.Allow("b", now)
+	if exactA != exactB {
+		t.Errorf("jitter disabled but horizons differ: %v vs %v", exactA, exactB)
+	}
+}

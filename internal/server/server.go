@@ -112,6 +112,10 @@ type Server struct {
 
 	draining atomic.Bool
 
+	// retrySeq keys the deterministic jitter of overload Retry-After
+	// hints, so consecutive rejected clients get distinct retry horizons.
+	retrySeq atomic.Int64
+
 	outMu    sync.Mutex
 	outcomes map[string]string // appID -> terminal outcome
 	outOrder []string
@@ -303,12 +307,15 @@ func buildApplication(req *SubmitRequest) (*lra.Application, error) {
 }
 
 // retryAfterHint resolves the Retry-After duration for overload
-// rejections.
+// rejections, jittered per rejection so that clients shed together do
+// not come back together (the same retry-storm defense as the rate
+// limiter's RetryJitter).
 func (s *Server) retryAfterHint() time.Duration {
+	base := time.Second
 	if s.cfg.Admission.RetryAfter > 0 {
-		return s.cfg.Admission.RetryAfter
+		base = s.cfg.Admission.RetryAfter
 	}
-	return time.Second
+	return base + retryJitterFor(base, s.cfg.RateLimit.retryJitter(), "overload", s.retrySeq.Add(1))
 }
 
 // handleSubmit is the guarded accept path: drain gate, rate limit,
@@ -359,8 +366,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMs > 0 {
 		e.deadline = now.Add(time.Duration(req.TimeoutMs) * time.Millisecond)
 	}
-	victim, ok := s.queue.Push(e)
-	if !ok {
+	victim, res := s.queue.Push(e)
+	switch res {
+	case pushClosed:
+		// Lost the race with a concurrent Drain: the queue was flushed and
+		// will never be read again, so acknowledging the entry would lose
+		// it. Reject exactly like the drain gate above.
+		s.Stats.AddRejectedDrain()
+		writeRetryAfter(w, s.retryAfterHint())
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	case pushFull:
 		s.Stats.AddShedQueueFull()
 		writeRetryAfter(w, s.retryAfterHint())
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "queue full", Reason: "submission shed"})
@@ -504,12 +520,23 @@ type StatsResponse struct {
 
 	Deployed int `json:"deployed"`
 	Rejected int `json:"rejected"`
+
+	// Capacity self-report: resources free and total on up nodes, and the
+	// node availability split. A federation scout scores member clusters
+	// by these.
+	FreeMemMB   int64 `json:"free_mem_mb"`
+	FreeVCores  int64 `json:"free_vcores"`
+	TotalMemMB  int64 `json:"total_mem_mb"`
+	TotalVCores int64 `json:"total_vcores"`
+	NodesUp     int   `json:"nodes_up"`
+	NodesTotal  int   `json:"nodes_total"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	deployed := s.med.DeployedLRAs()
 	rejected := len(s.med.Rejected)
+	free, total, up, nodes := s.med.Capacity()
 	s.mu.Unlock()
 	_, dims := s.adm.Shedding()
 	resp := StatsResponse{
@@ -531,6 +558,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Tenants:       s.rl.Snapshot(),
 		Deployed:      deployed,
 		Rejected:      rejected,
+		FreeMemMB:     free.MemoryMB,
+		FreeVCores:    free.VCores,
+		TotalMemMB:    total.MemoryMB,
+		TotalVCores:   total.VCores,
+		NodesUp:       up,
+		NodesTotal:    nodes,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
