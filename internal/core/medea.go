@@ -425,6 +425,14 @@ func (m *Medea) SubmitLRA(app *lra.Application, now time.Time) error {
 	if _, ok := m.deployed[app.ID]; ok {
 		return fmt.Errorf("core: LRA %s already deployed", app.ID)
 	}
+	for _, pa := range m.pending {
+		if pa.app.ID == app.ID {
+			// A second pending copy would double-register constraints and
+			// eventually double-place the app, orphaning one copy's
+			// containers when m.deployed[id] is overwritten.
+			return fmt.Errorf("core: LRA %s already pending", app.ID)
+		}
+	}
 	if err := m.Constraints.AddApplication(app.ID, app.Constraints...); err != nil {
 		return err
 	}
@@ -897,6 +905,26 @@ func (m *Medea) requeueOrReject(pa *pendingApp, now time.Time, stats *CycleStats
 	// replaying this record resumes with pa.retries already spent rather
 	// than granting a fresh budget.
 	m.logRecord(&journal.Record{Kind: journal.KindRequeue, At: now, AppID: pa.app.ID, Retries: pa.retries})
+}
+
+// WithdrawLRA withdraws a queued LRA before any cycle places it: the app
+// leaves the pending queue, its constraints are unregistered and the
+// removal is journaled (replay drops the pending entry the submit record
+// re-created). It reports whether the app was pending. The serving
+// layer's DELETE path uses it so an app that drained into the core but
+// has not deployed yet can still be removed.
+func (m *Medea) WithdrawLRA(appID string, now time.Time) bool {
+	for i, pa := range m.pending {
+		if pa.app.ID != appID {
+			continue
+		}
+		m.pending = append(m.pending[:i], m.pending[i+1:]...)
+		delete(m.repairs, appID)
+		m.Constraints.RemoveApplication(appID)
+		m.logRecord(&journal.Record{Kind: journal.KindRemove, At: now, AppID: appID})
+		return true
+	}
+	return false
 }
 
 // RemoveLRA tears an LRA down: releases its containers, drops its

@@ -308,6 +308,16 @@ func (m *Medea) replayRecord(r *journal.Record, rp *replayState) error {
 			}
 			delete(m.deployed, r.AppID)
 		}
+		// A withdrawn pending LRA (WithdrawLRA) journals the same record;
+		// drop the pending entry the submit record re-created.
+		for i, pa := range m.pending {
+			if pa.app.ID == r.AppID {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		delete(rp.inFlight, r.AppID)
+		delete(rp.intents, r.AppID)
 		delete(m.repairs, r.AppID)
 		m.Constraints.RemoveApplication(r.AppID)
 

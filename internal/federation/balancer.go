@@ -198,6 +198,15 @@ func (b *Balancer) Submit(req *server.SubmitRequest) (home string, err error) {
 		}
 	}
 	b.Stats.AddRouteFailure()
+	if len(ambiguous) > 0 {
+		// Some attempt timed out after the member may have accepted it.
+		// The caller gets an error, but a landed copy would hold real
+		// resources: record the app homeless so reconcileAmbiguous can
+		// adopt a live copy or delete it — an orphan must not outlive the
+		// failed routing.
+		b.record(req.ID, body, demand, "", ambiguous)
+		b.logf("federation: routing %s failed with %d ambiguous attempts; awaiting reconciliation", req.ID, len(ambiguous))
+	}
 	return "", fmt.Errorf("federation: no member accepted %s within %d rounds", req.ID, b.cfg.maxRounds())
 }
 
@@ -359,9 +368,14 @@ func (b *Balancer) retryDegraded(now time.Time, debits map[string]resource.Vecto
 }
 
 // reconcileAmbiguous resolves timed-out attempts: if a member that timed
-// out during routing turns out to hold the app while it is homed
-// elsewhere, the duplicate is deleted; if the app ended up with no home
-// (routing gave up after the timeout), the landed copy is adopted.
+// out during routing turns out to hold a live copy of the app while it
+// is homed elsewhere, the duplicate is deleted; if the app ended up with
+// no home (routing gave up after the timeout), a live landed copy is
+// adopted. Copies in a terminal state (rejected, removed, shed, expired,
+// failed) hold no resources — their marks are dropped rather than
+// retrying an un-deletable duplicate forever. An entry whose marks all
+// resolve with no home found leaves the ledger: nothing landed, and the
+// submitter was already told the routing failed.
 func (b *Balancer) reconcileAmbiguous(now time.Time) {
 	b.mu.Lock()
 	var pending []*routedApp
@@ -389,16 +403,25 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 				b.mu.Unlock()
 				continue
 			}
-			code, _, err := b.getStatus(id, a.id)
+			code, sr, err := b.getStatus(id, a.id)
 			if err != nil {
 				continue // unreachable: try again next Step
 			}
+			live := sr.State == "queued" || sr.State == "pending" || sr.State == "deployed"
 			switch {
 			case code == http.StatusNotFound:
 				b.mu.Lock()
 				delete(a.ambiguous, id)
 				b.mu.Unlock()
-			case code == http.StatusOK && home == "":
+			case code != http.StatusOK:
+				continue // transient member-side answer: try again next Step
+			case !live:
+				// Terminal on the member (rejected/removed/shed/expired/
+				// failed): no resources held, nothing to delete.
+				b.mu.Lock()
+				delete(a.ambiguous, id)
+				b.mu.Unlock()
+			case home == "":
 				b.mu.Lock()
 				a.home = id
 				a.degraded = false
@@ -406,7 +429,8 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 				b.mu.Unlock()
 				home = id
 				b.Stats.AddReconciled()
-			case code == http.StatusOK:
+				b.logf("federation: adopted landed copy of %s on %s", a.id, id)
+			default:
 				if rmErr := b.remove(id, a.id); rmErr == nil {
 					b.mu.Lock()
 					delete(a.ambiguous, id)
@@ -416,6 +440,14 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 				}
 			}
 		}
+		b.mu.Lock()
+		if a.home == "" && !a.degraded && len(a.ambiguous) == 0 {
+			// Every ambiguous attempt resolved to "never landed" and the
+			// app has no home: the routing failure was honest, drop the
+			// ledger entry.
+			delete(b.routed, a.id)
+		}
+		b.mu.Unlock()
 	}
 }
 
@@ -522,14 +554,18 @@ func (b *Balancer) Remove(appID string) error {
 // submission. The zero-loss invariant the chaos gates check: Lost stays
 // empty — every routed app is either placed on a live member, parked in
 // the degraded queue, explicitly rejected by a scheduler, or transiently
-// homed on a member awaiting failover/unreachable (OnDead).
+// homed on a member awaiting failover/unreachable (OnDead). Reconciling
+// counts un-acked entries from failed routings whose timed-out attempts
+// may have landed; they are adopted or deleted by reconciliation and are
+// not loss — the submitter was told the routing failed.
 type AuditReport struct {
-	Routed   int
-	Placed   int
-	Degraded int
-	OnDead   int
-	Rejected int
-	Lost     []string
+	Routed      int
+	Placed      int
+	Degraded    int
+	OnDead      int
+	Rejected    int
+	Reconciling int
+	Lost        []string
 }
 
 // Audit verifies the ledger against the members at now.
@@ -544,11 +580,13 @@ func (b *Balancer) Audit(now time.Time) AuditReport {
 	rep := AuditReport{Routed: len(apps)}
 	for _, a := range apps {
 		b.mu.Lock()
-		home, degraded := a.home, a.degraded
+		home, degraded, ambiguous := a.home, a.degraded, len(a.ambiguous)
 		b.mu.Unlock()
 		switch {
 		case degraded:
 			rep.Degraded++
+		case home == "" && ambiguous > 0:
+			rep.Reconciling++
 		case home == "":
 			rep.Lost = append(rep.Lost, a.id)
 		case b.scout.State(home, now) == Dead:

@@ -30,6 +30,12 @@ type Gate struct {
 	probeDelay  time.Duration
 	slowEvery   int // delay only every Nth call (0 = every call)
 	calls       int
+	// tailDelay stalls the *response* after the member has served the
+	// request — the ack-dropped Byzantine case: the caller times out, the
+	// member committed the work. Reconciliation must clean these up.
+	tailDelay time.Duration
+	tailEvery int
+	tailCalls int
 }
 
 // Crash marks the member's process as gone.
@@ -56,6 +62,17 @@ func (g *Gate) Slow(delay time.Duration, every int) {
 	g.calls = 0
 }
 
+// SlowTail makes every Nth request (every request when every <= 1) serve
+// normally but stall its response for delay — the member accepts the
+// work, the caller's ack times out; 0 delay disables.
+func (g *Gate) SlowTail(delay time.Duration, every int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tailDelay = delay
+	g.tailEvery = every
+	g.tailCalls = 0
+}
+
 // Heal clears the partition and slowness (a crash is permanent: the
 // simulated process does not restart within a run).
 func (g *Gate) Heal() {
@@ -64,6 +81,8 @@ func (g *Gate) Heal() {
 	g.partitioned = false
 	g.probeDelay = 0
 	g.slowEvery = 0
+	g.tailDelay = 0
+	g.tailEvery = 0
 }
 
 // Crashed reports whether the member's process is gone.
@@ -73,24 +92,30 @@ func (g *Gate) Crashed() bool {
 	return g.crashed
 }
 
-// admit decides one request's fate: an error (unreachable) or a delay to
-// serve after.
-func (g *Gate) admit() (delay time.Duration, err error) {
+// admit decides one request's fate: an error (unreachable), a delay
+// before serving, or a delay after serving (the ack-dropped case).
+func (g *Gate) admit() (delay, tail time.Duration, err error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.crashed {
-		return 0, fmt.Errorf("member crashed: connection refused")
+		return 0, 0, fmt.Errorf("member crashed: connection refused")
 	}
 	if g.partitioned {
-		return 0, fmt.Errorf("member partitioned: network unreachable")
+		return 0, 0, fmt.Errorf("member partitioned: network unreachable")
 	}
 	if g.probeDelay > 0 {
 		g.calls++
 		if g.slowEvery <= 1 || g.calls%g.slowEvery == 0 {
-			return g.probeDelay, nil
+			delay = g.probeDelay
 		}
 	}
-	return 0, nil
+	if g.tailDelay > 0 {
+		g.tailCalls++
+		if g.tailEvery <= 1 || g.tailCalls%g.tailEvery == 0 {
+			tail = g.tailDelay
+		}
+	}
+	return delay, tail, nil
 }
 
 // Member is one simulated cluster of the federation: a full journaled
@@ -195,7 +220,7 @@ type memberTransport struct {
 func (t *memberTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	// http.Client wraps any error returned here in *url.Error, exactly as
 	// a real network transport's failures are surfaced.
-	delay, err := t.m.Gate.admit()
+	delay, tail, err := t.m.Gate.admit()
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +238,17 @@ func (t *memberTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
 	t.m.Srv.Handler().ServeHTTP(rec, req)
+	if tail > 0 {
+		// The member served the request; the response is what stalls. A
+		// caller that gives up here has an ack in flight it never saw.
+		timer := time.NewTimer(tail)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
 	return &http.Response{
 		Status:        http.StatusText(rec.code),
 		StatusCode:    rec.code,

@@ -240,11 +240,13 @@ func (f *File) WriteCheckpoint(c *Checkpoint) error {
 }
 
 // Load implements Journal, reading the on-disk state: the latest
-// checkpoint (if any) and the WAL records newer than it, in Seq order. A
-// truncated partial record at the very end of the WAL — the signature of
-// a crash mid-append — is skipped with a warning rather than failing the
-// whole recovery; the record was never acknowledged, so dropping it is
-// the correct replay. Corruption anywhere else still fails loudly.
+// checkpoint (if any) and the WAL records newer than it, in Seq order.
+// An unterminated final WAL line — the signature of a crash mid-append —
+// is skipped with a warning rather than failing the whole recovery; the
+// record was never acknowledged, so dropping it is the correct replay.
+// Any newline-terminated line that fails to decode (including the final
+// one) is at-rest corruption of a likely-acknowledged record and fails
+// recovery loudly.
 func (f *File) Load() (*Checkpoint, []*Record, error) {
 	cp, recs, _, torn, err := f.load()
 	if torn {
@@ -299,12 +301,11 @@ func (f *File) load() (cp *Checkpoint, recs []*Record, validEnd int64, torn bool
 		}
 		r, derr := decodeRecord(trimmed)
 		if derr != nil {
-			if len(bytes.TrimSpace(content[next:])) == 0 {
-				// Final line of the file and nothing but whitespace after
-				// it: a torn append from a crash. Skip it; the caller may
-				// truncate the file to validEnd before appending again.
-				return cp, recs, validEnd, true, nil
-			}
+			// A newline-terminated line was fully written — Append flushes
+			// payload and terminator in one write — so the record was
+			// likely acknowledged. Undecodable terminated lines (final or
+			// not) are at-rest corruption: fail recovery loudly rather
+			// than silently dropping acknowledged state.
 			return nil, nil, 0, false, derr
 		}
 		if cp == nil || r.Seq > cp.Seq {

@@ -92,6 +92,32 @@ func TestTornFinalWALLine(t *testing.T) {
 	}
 }
 
+// TestTerminatedCorruptFinalLineFails: a final WAL line that carries its
+// newline terminator was fully written — Append flushes payload and
+// terminator in one write — so it was likely acknowledged. If it fails
+// to decode, that is at-rest corruption of acknowledged state, and
+// recovery must fail loudly instead of silently dropping the record as
+// a torn tail.
+func TestTerminatedCorruptFinalLineFails(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenDir(dir)
+	if err != nil {
+		t.Fatalf("OpenDir: %v", err)
+	}
+	for _, r := range sampleRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	appendRaw(t, dir, "{\"seq\":7,\"kind\":\"requ\n")
+	if _, err := OpenDir(dir); err == nil {
+		t.Fatal("OpenDir accepted a terminated undecodable final line, want error")
+	}
+}
+
 // TestTornMidWALLineStillFails: corruption that is NOT a torn tail (a
 // mangled record with intact records after it) must fail recovery loudly
 // rather than silently dropping acknowledged state.

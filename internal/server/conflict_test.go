@@ -1,0 +1,97 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"medea/internal/core"
+)
+
+// TestResubmitConflictsAfterQueueDrains: duplicate detection must not
+// stop at the submit queue. Once an entry drains into the core (one
+// poll), a resubmission of the same ID has to answer 409 whether the app
+// is pending or deployed — federation balancers reconcile ambiguous
+// timed-out attempts off that answer, and a 202 here would queue a
+// second copy.
+func TestResubmitConflictsAfterQueueDrains(t *testing.T) {
+	s, ts, clk := testServer(t, Config{}, core.Config{})
+
+	// An app no node can hold: it drains into the core and stays pending
+	// (requeued every cycle) instead of deploying.
+	big := SubmitRequest{ID: "stuck", Groups: []GroupSpec{{Name: "w", Count: 1, MemoryMB: 99999, VCores: 1}}}
+	if resp := doSubmit(t, ts, big, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	clk.Advance(time.Second)
+	s.Step()
+	if code, sr := getStatus(t, ts, "stuck"); code != 200 || sr.State != "pending" {
+		t.Fatalf("status %d %q, want 200 pending", code, sr.State)
+	}
+	if resp := doSubmit(t, ts, big, ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resubmit of core-pending app: status %d, want 409", resp.StatusCode)
+	}
+	if got := s.med.PendingLRAs(); got != 1 {
+		t.Fatalf("core pending = %d, want 1 (no second copy queued)", got)
+	}
+
+	// Same for a deployed app.
+	if resp := doSubmit(t, ts, submitReq("svc-1", 0, 0), ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit svc-1: %d", resp.StatusCode)
+	}
+	clk.Advance(time.Second)
+	s.Step()
+	if code, sr := getStatus(t, ts, "svc-1"); code != 200 || sr.State != "deployed" {
+		t.Fatalf("svc-1 status %d %q, want deployed", code, sr.State)
+	}
+	if resp := doSubmit(t, ts, submitReq("svc-1", 0, 0), ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("resubmit of deployed app: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestRemoveWithdrawsCorePendingApp: DELETE must reach an app that
+// drained out of the submit queue but has not deployed — before the
+// withdraw path, such apps answered 404 on DELETE while GET said
+// "pending", and a federation balancer could never clean up a duplicate
+// parked in that state.
+func TestRemoveWithdrawsCorePendingApp(t *testing.T) {
+	s, ts, clk := testServer(t, Config{}, core.Config{})
+
+	big := SubmitRequest{ID: "stuck", Groups: []GroupSpec{{Name: "w", Count: 1, MemoryMB: 99999, VCores: 1}}}
+	if resp := doSubmit(t, ts, big, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	clk.Advance(time.Second)
+	s.Step()
+	if code, sr := getStatus(t, ts, "stuck"); code != 200 || sr.State != "pending" {
+		t.Fatalf("status %d %q, want 200 pending", code, sr.State)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/lras/stuck", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE of core-pending app: status %d, want 200", resp.StatusCode)
+	}
+	if got := s.med.PendingLRAs(); got != 0 {
+		t.Fatalf("core pending = %d after withdraw, want 0", got)
+	}
+	if code, sr := getStatus(t, ts, "stuck"); code != 200 || sr.State != "removed" {
+		t.Fatalf("post-withdraw status %d %q, want 200 removed", code, sr.State)
+	}
+	// The withdrawn ID is free for a fresh submission.
+	if resp := doSubmit(t, ts, submitReq("stuck", 0, 0), ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after withdraw: status %d, want 202", resp.StatusCode)
+	}
+	clk.Advance(time.Second)
+	s.Step()
+	if code, sr := getStatus(t, ts, "stuck"); code != 200 || sr.State != "deployed" {
+		t.Fatalf("resubmitted app status %d %q, want deployed", code, sr.State)
+	}
+}

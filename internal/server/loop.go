@@ -82,6 +82,7 @@ func (s *Server) admitQueueLocked(now time.Time, drain bool) {
 			s.logf("core refused %s: %v", e.app.ID, err)
 			continue
 		}
+		s.registerCoreApp(e.app.ID)
 		if !e.deadline.IsZero() {
 			s.deadlines[e.app.ID] = e.deadline
 		}
@@ -113,6 +114,7 @@ func (s *Server) pruneDeadlinesLocked() {
 func (s *Server) publishGaugesLocked() {
 	s.corePending.Store(int64(s.med.PendingLRAs() + s.med.PendingRepairs()))
 	s.journalLag.Store(int64(s.med.JournalLag()))
+	s.refreshCoreAppsLocked()
 }
 
 // Drain is the graceful-shutdown path (SIGTERM): stop admitting new

@@ -120,6 +120,16 @@ type Server struct {
 	outcomes map[string]string // appID -> terminal outcome
 	outOrder []string
 
+	// coreApps mirrors the set of app IDs the core currently holds as
+	// pending or deployed. The accept path consults it (under its own
+	// mutex, never the core lock) so a resubmission of an ID that already
+	// drained out of the submit queue still gets a 409 — federation
+	// balancers rely on that answer to reconcile timed-out attempts.
+	// Maintained by the scheduling loop: IDs are added as the queue drains
+	// into the core and the set is rebuilt from the core after each cycle.
+	coreMu   sync.Mutex
+	coreApps map[string]bool
+
 	mux *http.ServeMux
 }
 
@@ -142,6 +152,7 @@ func New(med *core.Medea, cfg Config) *Server {
 		rl:        NewTenantLimiter(cfg.RateLimit),
 		deadlines: make(map[string]time.Time),
 		outcomes:  make(map[string]string),
+		coreApps:  make(map[string]bool),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/lras", s.handleSubmit)
@@ -206,6 +217,41 @@ func (s *Server) clearOutcome(appID string) {
 	s.outMu.Lock()
 	defer s.outMu.Unlock()
 	delete(s.outcomes, appID)
+}
+
+// registerCoreApp / dropCoreApp / inCore maintain and query the coreApps
+// mirror (see the field comment).
+func (s *Server) registerCoreApp(appID string) {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	s.coreApps[appID] = true
+}
+
+func (s *Server) dropCoreApp(appID string) {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	delete(s.coreApps, appID)
+}
+
+func (s *Server) inCore(appID string) bool {
+	s.coreMu.Lock()
+	defer s.coreMu.Unlock()
+	return s.coreApps[appID]
+}
+
+// refreshCoreAppsLocked rebuilds the mirror from the core's pending and
+// deployed sets; must be called with s.mu held.
+func (s *Server) refreshCoreAppsLocked() {
+	fresh := make(map[string]bool)
+	for _, id := range s.med.PendingApps() {
+		fresh[id] = true
+	}
+	for _, id := range s.med.DeployedApps() {
+		fresh[id] = true
+	}
+	s.coreMu.Lock()
+	s.coreApps = fresh
+	s.coreMu.Unlock()
 }
 
 // Wire types.
@@ -362,6 +408,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: "already queued"})
 		return
 	}
+	if s.inCore(app.ID) {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "already scheduled", Reason: "id is pending or deployed"})
+		return
+	}
 	e := &submitEntry{app: app, tenant: tenant, priority: req.Priority, enqueued: now}
 	if req.TimeoutMs > 0 {
 		e.deadline = now.Add(time.Duration(req.TimeoutMs) * time.Millisecond)
@@ -443,12 +493,21 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	err := s.med.RemoveLRA(id)
+	var err error
+	// The app may have drained into the core without deploying yet:
+	// withdraw it from the pending queue, else tear down the deployment.
+	if !s.med.WithdrawLRA(id, s.now()) {
+		err = s.med.RemoveLRA(id)
+	}
+	if err == nil {
+		delete(s.deadlines, id)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 		return
 	}
+	s.dropCoreApp(id)
 	s.setOutcome(id, "removed")
 	s.Stats.AddRemoved()
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "removed"})
