@@ -11,9 +11,12 @@ import (
 // FailNode/RecoverNode. Every method reports whether the member exists.
 type FleetTarget interface {
 	MemberIDs() []string
-	// CrashMember kills a member cluster's scheduler permanently (for
-	// the run): loop stopped, API unreachable.
+	// CrashMember kills a member cluster's scheduler: loop stopped, API
+	// unreachable, process state lost.
 	CrashMember(id string) bool
+	// RestartMember rebuilds a crashed member's scheduler from its
+	// journal; false if the member is unknown, alive, or unrecoverable.
+	RestartMember(id string) bool
 	// PartitionMember severs (true) or restores (false) the network to a
 	// member that keeps running.
 	PartitionMember(id string, partitioned bool) bool
@@ -36,6 +39,8 @@ const (
 	FleetSlow
 	// FleetHeal lifts partition and slowness.
 	FleetHeal
+	// FleetRestart rebuilds a crashed member from its journal.
+	FleetRestart
 )
 
 func (k FleetEventKind) String() string {
@@ -48,6 +53,8 @@ func (k FleetEventKind) String() string {
 		return "slow"
 	case FleetHeal:
 		return "heal"
+	case FleetRestart:
+		return "restart"
 	}
 	return "unknown"
 }
@@ -100,6 +107,8 @@ func (s *FleetScript) ApplyDue(t FleetTarget, elapsed time.Duration) (int, error
 			ok = t.SlowMember(e.Member, e.Delay, e.Every)
 		case FleetHeal:
 			ok = t.HealMember(e.Member)
+		case FleetRestart:
+			ok = t.RestartMember(e.Member)
 		}
 		if !ok {
 			return fired, fmt.Errorf("chaos: fleet event %d (%s %s) has no target", i, e.Kind, e.Member)

@@ -94,6 +94,13 @@ type Config struct {
 	// 16, negative = never checkpoint after the initial one). Ignored
 	// until a journal is attached.
 	CheckpointEvery int
+
+	// Clock is the wall-clock source for the few places core reads real
+	// time outside the caller-supplied scheduler time — today only the
+	// RecoveryWallTime stamp in Recover (nil = time.Now). Deterministic
+	// simulation injects its virtual clock so recovered state is
+	// bit-identical across runs.
+	Clock func() time.Time
 }
 
 // maxRetries resolves the MaxRetries sentinel: 0 → default 3, negative →
@@ -260,6 +267,12 @@ func New(c *cluster.Cluster, alg lra.Algorithm, cfg Config, queues ...taskched.Q
 	}
 	if cfg.Options.SolverBudget == 0 {
 		cfg.Options.SolverBudget = cfg.SolverBudget
+	}
+	if cfg.Options.Clock == nil {
+		// The scheduler's clock drives the algorithms too: a virtual-time
+		// core must not let solver latency stamps or ILP deadlines read
+		// the wall clock.
+		cfg.Options.Clock = cfg.Clock
 	}
 	m := &Medea{
 		Cluster:     c,
@@ -1015,6 +1028,9 @@ func (m *Medea) ActiveEntries() []constraint.Entry { return m.Constraints.Active
 // plan; moves that fail to re-commit (lost races with task allocations)
 // roll back to their original node and are dropped from the plan.
 func (m *Medea) Rebalance(opts lra.MigrationOptions) *lra.MigrationPlan {
+	if opts.Clock == nil {
+		opts.Clock = m.cfg.Clock
+	}
 	prev := opts.Movable
 	opts.Movable = func(id cluster.ContainerID) bool {
 		if _, lraOwned := m.owner[id]; !lraOwned {

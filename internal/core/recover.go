@@ -56,7 +56,11 @@ type replayState struct {
 // re-attached to the recovered instance and a fresh checkpoint is
 // written, so the next recovery replays a short tail.
 func Recover(j journal.Journal, c *cluster.Cluster, alg lra.Algorithm, cfg Config, now time.Time, queues ...taskched.QueueConfig) (*Medea, error) {
-	start := time.Now()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	start := clock()
 	cp, tail, err := j.Load()
 	if err != nil {
 		return nil, fmt.Errorf("core: recover: %w", err)
@@ -92,7 +96,7 @@ func Recover(j journal.Journal, c *cluster.Cluster, alg lra.Algorithm, cfg Confi
 	if err := m.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("core: recover: recovered state fails invariants: %w", err)
 	}
-	m.Recovery.RecoveryWallTime = time.Since(start)
+	m.Recovery.RecoveryWallTime = clock().Sub(start)
 	m.jnl = j
 	m.writeCheckpoint(now)
 	return m, nil

@@ -1,0 +1,60 @@
+package dst
+
+// Minimize shrinks a failing schedule by delta debugging: repeatedly
+// re-run slices of the event list and keep any slice that still
+// reproduces the SAME violation (matched by name — a different failure
+// is a different bug, not a smaller repro). Events are designed to
+// degrade to no-ops when their preconditions were sliced away, so any
+// subset of a schedule is itself a valid schedule.
+//
+// The result is the minimal-ish schedule for the repro artifact; runs
+// are capped so minimization stays interactive even when every probe
+// reproduces.
+func Minimize(cfg Config, events []Event, name string) []Event {
+	const maxRuns = 400
+	runs := 0
+	fails := func(evs []Event) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		r := Run(cfg, evs)
+		return r.Violation != nil && r.Violation.Name == name
+	}
+	if len(events) == 0 || !fails(events) {
+		return events
+	}
+	cur := append([]Event(nil), events...)
+	n := 2
+	for len(cur) >= 2 && runs < maxRuns {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Event, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}

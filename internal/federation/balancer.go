@@ -78,6 +78,12 @@ type routedApp struct {
 	// request may have been accepted: until reconciled, the app might be
 	// duplicated there.
 	ambiguous map[string]bool
+	// removed marks an entry the client tore down while ambiguous marks
+	// were still outstanding: the entry lingers as a tombstone so
+	// reconciliation can delete any copy that did land, then GC it —
+	// without the tombstone, a duplicate from a timed-out attempt would
+	// outlive the removal and leak its resources forever.
+	removed bool
 }
 
 // Balancer routes LRA submissions across the federation's members using
@@ -95,6 +101,13 @@ type Balancer struct {
 	routed map[string]*routedApp
 	// degradedOrder preserves FIFO recovery order for degraded apps.
 	degradedOrder []string
+	// homeCursor rotates the anti-entropy sweep through the homed apps so
+	// every entry is verified within len(ledger)/homeCheckBatch rounds.
+	homeCursor int
+	// recheck holds apps whose last home verification failed transiently;
+	// they are retried every round ahead of the rotating window instead of
+	// waiting out a full ledger rotation. Bounded to homeCheckBatch.
+	recheck map[string]bool
 
 	logf func(format string, args ...any)
 }
@@ -159,6 +172,23 @@ func totalDemand(req *server.SubmitRequest) resource.Vector {
 // exhausted rounds are retried after a jittered exponential backoff.
 // It returns the member that accepted the app.
 func (b *Balancer) Submit(req *server.SubmitRequest) (home string, err error) {
+	// The ledger is the router's single source of truth for an ID: a
+	// resubmission of an app it already tracks must not route again —
+	// another member would 202 it and the fleet would run two live
+	// copies, with no ambiguous mark to ever reconcile the first.
+	b.mu.Lock()
+	if a := b.routed[req.ID]; a != nil {
+		home, removed := a.home, a.removed
+		b.mu.Unlock()
+		if removed {
+			return "", fmt.Errorf("federation: %s is still being removed", req.ID)
+		}
+		if home != "" {
+			return home, nil // idempotent: already routed there
+		}
+		return "", fmt.Errorf("federation: %s already submitted (degraded or reconciling)", req.ID)
+	}
+	b.mu.Unlock()
 	body, err := json.Marshal(req)
 	if err != nil {
 		return "", fmt.Errorf("federation: encoding submission %s: %w", req.ID, err)
@@ -251,18 +281,31 @@ func (b *Balancer) record(id string, body []byte, demand resource.Vector, home s
 }
 
 // Step runs one federation control round at now: probe every member,
-// fail over apps homed on newly confirmed-dead members, retry the
-// degraded queue, and reconcile timed-out attempts. It is the
-// single-threaded heart of the balancer; submissions may race it.
+// fail over apps homed on dead members, re-route apps whose home lost
+// them, retry the degraded queue, and reconcile timed-out attempts. It
+// is the single-threaded heart of the balancer; submissions may race it.
 func (b *Balancer) Step(now time.Time) {
 	// debits tracks capacity this round has already promised away per
 	// member: the scout's reports only refresh once per round, so placing
 	// two refugees against the same stale report would overcommit the
 	// survivor and get the second one rejected by its core.
 	debits := make(map[string]resource.Vector)
+	newly := make(map[string]bool)
 	for _, dead := range b.scout.ProbeAll(now) {
-		b.failover(dead, now, debits)
+		newly[dead] = true
 	}
+	// Failover is level-triggered: every round sweeps ALL apps homed on a
+	// currently-dead member, not only those present at the instant death
+	// was confirmed. An app that lands back on a dead home between rounds
+	// (a racing submit, an interrupted earlier sweep) is still rescued.
+	// Stats count one failover event per death confirmation, so repeat
+	// sweeps that find nothing stay invisible.
+	for _, id := range b.scout.MemberIDs() {
+		if b.scout.State(id, now) == Dead {
+			b.failover(id, now, debits, newly[id])
+		}
+	}
+	b.reconcileHomes(now, debits)
 	b.retryDegraded(now, debits)
 	b.reconcileAmbiguous(now)
 }
@@ -270,10 +313,11 @@ func (b *Balancer) Step(now time.Time) {
 // failover re-places every app homed on the dead member onto survivors.
 // Apps the survivors cannot absorb enter degraded mode: parked in the
 // ledger, surfaced in stats, retried every Step until capacity appears.
-// The dead member's journaled state is not forgotten — a future
-// incarnation recovering it would be reconciled as duplicates — but the
-// fleet stops waiting for it.
-func (b *Balancer) failover(deadID string, now time.Time, debits map[string]resource.Vector) {
+// The dead member's journaled state is not forgotten — every refugee
+// keeps an ambiguous mark on the dead member, so if a restarted
+// incarnation recovers the app from its journal, reconciliation deletes
+// the duplicate instead of letting it run twice.
+func (b *Balancer) failover(deadID string, now time.Time, debits map[string]resource.Vector, confirmed bool) {
 	b.mu.Lock()
 	var refugees []*routedApp
 	for _, a := range b.routed {
@@ -283,9 +327,14 @@ func (b *Balancer) failover(deadID string, now time.Time, debits map[string]reso
 	}
 	b.mu.Unlock()
 	sort.Slice(refugees, func(i, j int) bool { return refugees[i].id < refugees[j].id })
-	b.Stats.AddFailoverEvent()
-	b.logf("federation: member %s confirmed dead; failing over %d apps", deadID, len(refugees))
+	if confirmed {
+		b.Stats.AddFailoverEvent()
+		b.logf("federation: member %s confirmed dead; failing over %d apps", deadID, len(refugees))
+	}
 	for _, a := range refugees {
+		b.mu.Lock()
+		a.ambiguous[deadID] = true
+		b.mu.Unlock()
 		if home, ok := b.placeOnce(a, now, debits); ok {
 			b.Stats.AddFailoverReplaced()
 			b.logf("federation: %s re-homed %s -> %s", a.id, deadID, home)
@@ -300,6 +349,98 @@ func (b *Balancer) failover(deadID string, now time.Time, debits map[string]reso
 		b.mu.Unlock()
 		b.Stats.AddDegradedQueued()
 		b.logf("federation: %s degraded: no surviving capacity", a.id)
+	}
+}
+
+// homeCheckBatch bounds how many homed apps one reconcileHomes round
+// verifies: anti-entropy is a background repair, not a per-round audit
+// of the whole ledger.
+const homeCheckBatch = 32
+
+// reconcileHomes is the balancer's anti-entropy sweep: each round it
+// verifies a bounded, rotating batch of homed apps against their home
+// member. A home that answers 404 — or reports the ack was not honored
+// (shed/expired/failed) or already executed a removal the balancer never
+// saw acknowledged ("removed", the ack-dropped DELETE) — lost the app:
+// typically a member crash before the queued submission became durable,
+// recovered from a journal that never saw it. The balancer still holds
+// the body, so the app goes back through the degraded path and is
+// re-placed instead of being reported lost forever. Entries whose status
+// query failed transiently go into a bounded recheck set that is retried
+// every round ahead of the rotating window — otherwise an unlucky entry
+// would wait a full ledger rotation between attempts while its app
+// stays unaccounted for.
+func (b *Balancer) reconcileHomes(now time.Time, debits map[string]resource.Vector) {
+	b.mu.Lock()
+	var homed []string
+	for id, a := range b.routed {
+		if a.home != "" && !a.degraded && !a.removed {
+			homed = append(homed, id)
+		}
+	}
+	b.mu.Unlock()
+	if len(homed) == 0 {
+		return
+	}
+	sort.Strings(homed)
+	var batch []string
+	seen := make(map[string]bool)
+	if len(b.recheck) > 0 {
+		retry := make([]string, 0, len(b.recheck))
+		for id := range b.recheck {
+			retry = append(retry, id)
+		}
+		sort.Strings(retry)
+		for _, id := range retry {
+			batch = append(batch, id)
+			seen[id] = true
+		}
+	}
+	lo := b.homeCursor % len(homed)
+	for i := 0; i < homeCheckBatch && i < len(homed); i++ {
+		id := homed[(lo+i)%len(homed)]
+		if !seen[id] {
+			batch = append(batch, id)
+		}
+	}
+	b.homeCursor = (lo + homeCheckBatch) % len(homed)
+	for _, id := range batch {
+		b.mu.Lock()
+		a := b.routed[id]
+		var home string
+		if a != nil && !a.degraded && !a.removed {
+			home = a.home
+		}
+		b.mu.Unlock()
+		if home == "" || b.scout.State(home, now) == Dead {
+			delete(b.recheck, id) // failover's job, not anti-entropy's
+			continue
+		}
+		code, sr, err := b.getStatus(home, id)
+		if err != nil {
+			if b.recheck == nil {
+				b.recheck = make(map[string]bool)
+			}
+			if len(b.recheck) < homeCheckBatch || b.recheck[id] {
+				b.recheck[id] = true
+			}
+			continue // unreachable: retried next round
+		}
+		delete(b.recheck, id)
+		vanished := code == http.StatusNotFound ||
+			(code == http.StatusOK && (sr.State == "shed" || sr.State == "expired" || sr.State == "failed" || sr.State == "removed"))
+		if !vanished {
+			continue
+		}
+		b.mu.Lock()
+		if a.home == home && !a.degraded && !a.removed {
+			a.home = ""
+			a.degraded = true
+			b.degradedOrder = append(b.degradedOrder, a.id)
+		}
+		b.mu.Unlock()
+		b.Stats.AddRerouted()
+		b.logf("federation: %s vanished from %s (state %q); re-queued for placement", id, home, sr.State)
 	}
 }
 
@@ -371,11 +512,15 @@ func (b *Balancer) retryDegraded(now time.Time, debits map[string]resource.Vecto
 // out during routing turns out to hold a live copy of the app while it
 // is homed elsewhere, the duplicate is deleted; if the app ended up with
 // no home (routing gave up after the timeout), a live landed copy is
-// adopted. Copies in a terminal state (rejected, removed, shed, expired,
-// failed) hold no resources — their marks are dropped rather than
-// retrying an un-deletable duplicate forever. An entry whose marks all
-// resolve with no home found leaves the ledger: nothing landed, and the
-// submitter was already told the routing failed.
+// adopted — unless the entry is a removal tombstone, whose landed copies
+// are deleted instead. Copies in a terminal state (rejected, removed,
+// shed, expired, failed) hold no resources — their marks are dropped
+// rather than retrying an un-deletable duplicate forever. Marks on a
+// DEAD member are kept, not dropped: the member's journal may hold the
+// copy, and a restarted incarnation would recover it — the mark is the
+// only thing standing between that recovery and a permanent duplicate.
+// An entry whose marks all resolve with no home found leaves the ledger:
+// nothing landed, and the submitter was already told the routing failed.
 func (b *Balancer) reconcileAmbiguous(now time.Time) {
 	b.mu.Lock()
 	var pending []*routedApp
@@ -392,15 +537,14 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 		for id := range a.ambiguous {
 			members = append(members, id)
 		}
-		home := a.home
+		home, removed := a.home, a.removed
 		b.mu.Unlock()
 		sort.Strings(members)
 		for _, id := range members {
 			if b.scout.State(id, now) == Dead {
-				// A dead member cannot serve a duplicate; drop the mark.
-				b.mu.Lock()
-				delete(a.ambiguous, id)
-				b.mu.Unlock()
+				// Unreachable AND possibly recoverable from its journal:
+				// keep the mark until the member answers again (restart)
+				// or the run ends with it still down.
 				continue
 			}
 			code, sr, err := b.getStatus(id, a.id)
@@ -421,7 +565,7 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 				b.mu.Lock()
 				delete(a.ambiguous, id)
 				b.mu.Unlock()
-			case home == "":
+			case home == "" && !removed:
 				b.mu.Lock()
 				a.home = id
 				a.degraded = false
@@ -431,6 +575,8 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 				b.Stats.AddReconciled()
 				b.logf("federation: adopted landed copy of %s on %s", a.id, id)
 			default:
+				// A live copy beside the home — or any live copy of a
+				// removed app: delete it.
 				if rmErr := b.remove(id, a.id); rmErr == nil {
 					b.mu.Lock()
 					delete(a.ambiguous, id)
@@ -442,9 +588,9 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 		}
 		b.mu.Lock()
 		if a.home == "" && !a.degraded && len(a.ambiguous) == 0 {
-			// Every ambiguous attempt resolved to "never landed" and the
-			// app has no home: the routing failure was honest, drop the
-			// ledger entry.
+			// Every ambiguous attempt resolved: a tombstone has nothing
+			// left to delete, a failed routing left nothing behind — in
+			// both cases the entry is done.
 			delete(b.routed, a.id)
 		}
 		b.mu.Unlock()
@@ -517,6 +663,9 @@ func (b *Balancer) Status(appID string) (server.StatusResponse, error) {
 	if a == nil {
 		return server.StatusResponse{}, fmt.Errorf("federation: unknown app %s", appID)
 	}
+	if a.removed {
+		return server.StatusResponse{ID: appID, State: "removed"}, nil
+	}
 	if a.degraded {
 		return server.StatusResponse{ID: appID, State: "degraded"}, nil
 	}
@@ -531,7 +680,11 @@ func (b *Balancer) Status(appID string) (server.StatusResponse, error) {
 }
 
 // Remove tears an app down fleet-wide: from its home member and from the
-// ledger (degraded apps just leave the queue).
+// ledger (degraded apps just leave the queue). An app with outstanding
+// ambiguous marks does not leave the ledger yet — a timed-out attempt
+// may still have landed a copy somewhere, and deleting the entry would
+// orphan it. The entry becomes a removal tombstone: reconciliation
+// deletes any copy the marks turn up, then garbage-collects the entry.
 func (b *Balancer) Remove(appID string) error {
 	b.mu.Lock()
 	a := b.routed[appID]
@@ -545,9 +698,50 @@ func (b *Balancer) Remove(appID string) error {
 		}
 	}
 	b.mu.Lock()
-	delete(b.routed, appID)
+	if len(a.ambiguous) > 0 {
+		a.removed = true
+		a.home = ""
+		a.degraded = false
+	} else {
+		delete(b.routed, appID)
+	}
 	b.mu.Unlock()
 	return nil
+}
+
+// Forget drops an app's ledger entry without touching any member — a
+// deliberate bookkeeping hole. It exists ONLY as the deterministic
+// simulation harness's injected-violation hook: the member still runs
+// the app, the ledger no longer accounts for it, and the harness's
+// cross-layer invariant checker must catch the discrepancy. Never call
+// this in production paths; Remove is the real teardown.
+func (b *Balancer) Forget(appID string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.routed[appID] == nil {
+		return false
+	}
+	delete(b.routed, appID)
+	return true
+}
+
+// AmbiguousMarks returns the member IDs an app still has unresolved
+// timed-out attempts against (sorted; nil when none or unknown). The
+// deterministic simulation harness uses it to tell a tracked duplicate
+// from an untracked one.
+func (b *Balancer) AmbiguousMarks(appID string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a := b.routed[appID]
+	if a == nil || len(a.ambiguous) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(a.ambiguous))
+	for id := range a.ambiguous {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // AuditReport is the fleet-wide accounting of every acknowledged
@@ -580,9 +774,13 @@ func (b *Balancer) Audit(now time.Time) AuditReport {
 	rep := AuditReport{Routed: len(apps)}
 	for _, a := range apps {
 		b.mu.Lock()
-		home, degraded, ambiguous := a.home, a.degraded, len(a.ambiguous)
+		home, degraded, ambiguous, removed := a.home, a.degraded, len(a.ambiguous), a.removed
 		b.mu.Unlock()
 		switch {
+		case removed:
+			// A removal tombstone: the submitter asked for teardown; the
+			// entry only persists until its ambiguous marks drain.
+			rep.Reconciling++
 		case degraded:
 			rep.Degraded++
 		case home == "" && ambiguous > 0:

@@ -34,6 +34,15 @@ type FleetConfig struct {
 	// in-memory journals.
 	JournalRoot string
 	SyncEvery   int
+	// MakeJournal, when set, supplies each member's journal directly and
+	// takes precedence over JournalRoot. The deterministic-simulation
+	// harness uses it to hand every member a crash-point-instrumented
+	// in-memory journal it keeps a handle on.
+	MakeJournal func(memberID string) journal.Journal
+	// VirtualDelay puts every member's fault gate in virtual-delay mode:
+	// injected slowness surfaces as an immediate DeadlineExceeded instead
+	// of a real timer stall (see MemberConfig.VirtualDelay).
+	VirtualDelay bool
 	// Scout and Route tune the federation layer.
 	Scout ScoutConfig
 	Route RouteConfig
@@ -101,15 +110,20 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Core.Interval == 0 {
 		cfg.Core.Interval = 50 * time.Millisecond
 	}
-	now := time.Now()
-	if cfg.Clock != nil {
-		now = cfg.Clock()
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
+	if cfg.Core.Clock == nil {
+		cfg.Core.Clock = cfg.Clock
+	}
+	now := cfg.Clock()
 	f := &Fleet{cfg: cfg, Stats: &metrics.FedStats{}, byID: make(map[string]*Member)}
 	for i := 0; i < cfg.members(); i++ {
 		id := fmt.Sprintf("cluster-%d", i)
 		var jnl journal.Journal
-		if cfg.JournalRoot != "" {
+		if cfg.MakeJournal != nil {
+			jnl = cfg.MakeJournal(id)
+		} else if cfg.JournalRoot != "" {
 			fj, err := journal.OpenDirWith(filepath.Join(cfg.JournalRoot, id), journal.FileConfig{SyncEvery: cfg.SyncEvery})
 			if err != nil {
 				return nil, fmt.Errorf("federation: journal for %s: %w", id, err)
@@ -120,14 +134,15 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		srvCfg.Clock = cfg.Clock
 		srvCfg.Logf = nil // member chatter stays out of the fleet log
 		m, err := NewMember(MemberConfig{
-			ID:       id,
-			Nodes:    cfg.nodesPerMember(),
-			RackSize: cfg.rackSize(),
-			NodeCap:  cfg.nodeCapacity(),
-			Core:     cfg.Core,
-			Server:   srvCfg,
-			Journal:  jnl,
-			Now:      now,
+			ID:           id,
+			Nodes:        cfg.nodesPerMember(),
+			RackSize:     cfg.rackSize(),
+			NodeCap:      cfg.nodeCapacity(),
+			Core:         cfg.Core,
+			Server:       srvCfg,
+			Journal:      jnl,
+			Now:          now,
+			VirtualDelay: cfg.VirtualDelay,
 		})
 		if err != nil {
 			return nil, err
@@ -158,11 +173,7 @@ func (f *Fleet) Start(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				now := time.Now()
-				if f.cfg.Clock != nil {
-					now = f.cfg.Clock()
-				}
-				f.Balancer.Step(now)
+				f.Balancer.Step(f.cfg.Clock())
 			}
 		}
 	}()
@@ -202,13 +213,33 @@ func (f *Fleet) MemberIDs() []string {
 
 // CrashMember implements the chaos FleetTarget: the member's loop stops
 // and its API becomes unreachable, as if the cluster's scheduler host
-// died. Reports whether the member exists.
+// died (RestartMember revives it from its journal). Reports whether the
+// member exists.
 func (f *Fleet) CrashMember(id string) bool {
 	m := f.byID[id]
 	if m == nil {
 		return false
 	}
 	m.Crash()
+	return true
+}
+
+// RestartMember implements the chaos FleetTarget: a crashed member's
+// scheduler is rebuilt from its journal against live cluster truth and
+// rejoins the fleet (the failure detector revives it on its next
+// successful probe). Reports false for unknown, never-crashed, or
+// unrecoverable members.
+func (f *Fleet) RestartMember(id string) bool {
+	m := f.byID[id]
+	if m == nil || !m.Gate.Crashed() {
+		return false
+	}
+	if err := m.Restart(f.cfg.Clock()); err != nil {
+		if f.cfg.Logf != nil {
+			f.cfg.Logf("federation: %v", err)
+		}
+		return false
+	}
 	return true
 }
 
@@ -236,7 +267,7 @@ func (f *Fleet) SlowMember(id string, delay time.Duration, every int) bool {
 }
 
 // HealMember implements the chaos FleetTarget: partition and slowness
-// are lifted (a crash is permanent within a run).
+// are lifted (a crash is a process fault — RestartMember undoes it).
 func (f *Fleet) HealMember(id string) bool {
 	m := f.byID[id]
 	if m == nil {

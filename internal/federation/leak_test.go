@@ -1,0 +1,39 @@
+package federation
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestFleetCloseNoGoroutineLeak: starting the fleet's real-time loops
+// (one per member plus the federation control loop), crashing a member
+// mid-flight, and closing the fleet must return the process to its
+// baseline goroutine count — nothing may outlive Close.
+func TestFleetCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	f, err := NewFleet(FleetConfig{
+		Members:        3,
+		NodesPerMember: 4,
+	})
+	if err != nil {
+		t.Fatalf("building fleet: %v", err)
+	}
+	f.Start(context.Background())
+	time.Sleep(10 * time.Millisecond) // let every loop tick
+	f.CrashMember(f.Members[0].ID)    // a crashed member's loop must also stop
+	f.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d at start, %d after Close\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -73,8 +73,8 @@ func (g *Gate) SlowTail(delay time.Duration, every int) {
 	g.tailCalls = 0
 }
 
-// Heal clears the partition and slowness (a crash is permanent: the
-// simulated process does not restart within a run).
+// Heal clears the partition and slowness (a crash is not a network
+// fault: restarting the process is Restore's job).
 func (g *Gate) Heal() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -83,6 +83,15 @@ func (g *Gate) Heal() {
 	g.slowEvery = 0
 	g.tailDelay = 0
 	g.tailEvery = 0
+}
+
+// Restore clears the crash flag after the member's process has been
+// rebuilt (Member.Restart). Network faults — partition, slowness — are
+// environmental and survive a process restart; Heal lifts those.
+func (g *Gate) Restore() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed = false
 }
 
 // Crashed reports whether the member's process is gone.
@@ -130,6 +139,7 @@ type Member struct {
 	Jnl  journal.Journal
 	Gate *Gate
 
+	cfg    MemberConfig // retained so Restart can rebuild the stack
 	client *http.Client
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -145,6 +155,13 @@ type MemberConfig struct {
 	Server   server.Config
 	Journal  journal.Journal // nil = in-memory
 	Now      time.Time       // journal attach time
+	// VirtualDelay converts the gate's injected delays from real timer
+	// stalls into immediate context.DeadlineExceeded returns: a "slow"
+	// request fails before serving, a "slow tail" serves and then drops
+	// the ack — exactly what a caller with a deadline shorter than the
+	// stall would observe, with zero wall-clock spent. Deterministic
+	// simulation runs entirely on virtual time and needs this.
+	VirtualDelay bool
 }
 
 // NewMember builds a member cluster with its serving layer and journal
@@ -160,9 +177,32 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 		return nil, fmt.Errorf("federation: member %s journal: %w", cfg.ID, err)
 	}
 	srv := server.New(med, cfg.Server)
-	m := &Member{ID: cfg.ID, Srv: srv, Med: med, Jnl: jnl, Gate: &Gate{}}
+	m := &Member{ID: cfg.ID, Srv: srv, Med: med, Jnl: jnl, Gate: &Gate{}, cfg: cfg}
 	m.client = &http.Client{Transport: &memberTransport{m: m}}
 	return m, nil
+}
+
+// Restart revives a crashed member the way a real scheduler host comes
+// back: the journal and the (still running) cluster survived, everything
+// in the process was lost. The core is rebuilt by core.Recover over the
+// member's journal against live cluster truth, a fresh serving layer is
+// put in front of it (the old submit queue's un-drained entries are gone
+// — the federation balancer's anti-entropy sweep re-routes those), and
+// the gate's crash flag is cleared. No-op error-free if the member was
+// never crashed. Only for synchronous (Step-driven) members; a member
+// with a running loop must be Crash()ed first.
+func (m *Member) Restart(now time.Time) error {
+	if !m.Gate.Crashed() {
+		return nil
+	}
+	med, err := core.Recover(m.Jnl, m.Med.Cluster, lra.NewNodeCandidates(), m.cfg.Core, now)
+	if err != nil {
+		return fmt.Errorf("federation: restarting %s: %w", m.ID, err)
+	}
+	m.Med = med
+	m.Srv = server.New(med, m.cfg.Server)
+	m.Gate.Restore()
+	return nil
 }
 
 // Client returns an HTTP client whose transport dispatches in-process to
@@ -225,6 +265,12 @@ func (t *memberTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, err
 	}
 	if delay > 0 {
+		// Virtual-delay members never stall real time: an injected delay
+		// IS a blown deadline, reported immediately, exactly as a caller
+		// whose timeout is shorter than the stall would see it.
+		if t.m.cfg.VirtualDelay {
+			return nil, context.DeadlineExceeded
+		}
 		timer := time.NewTimer(delay)
 		defer timer.Stop()
 		select {
@@ -241,6 +287,9 @@ func (t *memberTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if tail > 0 {
 		// The member served the request; the response is what stalls. A
 		// caller that gives up here has an ack in flight it never saw.
+		if t.m.cfg.VirtualDelay {
+			return nil, context.DeadlineExceeded
+		}
 		timer := time.NewTimer(tail)
 		defer timer.Stop()
 		select {

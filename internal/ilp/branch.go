@@ -31,6 +31,19 @@ type Options struct {
 	// identical for every worker count. Sequential solving (Workers == 1)
 	// runs the same algorithm on one goroutine.
 	Workers int
+	// Clock is the time source for deadline enforcement (nil = time.Now).
+	// Deterministic harnesses inject a virtual clock, which freezes the
+	// budget for the duration of a solve and so removes the wall clock
+	// from solver outcomes entirely.
+	Clock func() time.Time
+}
+
+// now reads the configured clock, defaulting to the wall clock.
+func (o Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now()
 }
 
 // tolObj is the shared-incumbent pruning guard: a subtree node is pruned
@@ -103,7 +116,7 @@ func (m *Model) warmIncumbent(opts Options, lo, hi []float64) (obj float64, x []
 		}
 		wlo[j], whi[j] = val, val
 	}
-	if res := solveLP(m, wlo, whi, opts.Deadline); res.status == Optimal && m.integral(res.x) {
+	if res := solveLP(m, wlo, whi, opts.Deadline, opts.Clock); res.status == Optimal && m.integral(res.x) {
 		return res.obj, m.snap(res.x), true
 	}
 	return 0, nil, false
@@ -166,7 +179,7 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 	}
 	lo, hi, hasInt := m.rootBounds()
 
-	root := solveLP(m, lo, hi, opts.Deadline)
+	root := solveLP(m, lo, hi, opts.Deadline, opts.Clock)
 	if root.status == statusDeadline {
 		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
 	}
@@ -191,7 +204,7 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 			deadlineHit = true
 			break
 		}
-		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && opts.now().After(opts.Deadline) {
 			deadlineHit = true
 			break
 		}
@@ -201,7 +214,7 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 		if incumbentX != nil && !m.better(nd.bound, incumbent) {
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
 		nodes++
 		if res.status == statusDeadline {
 			deadlineHit = true

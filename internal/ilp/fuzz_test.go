@@ -93,13 +93,13 @@ func bruteForce(m *Model, obj []float64, n int) float64 {
 // brute-force optimum exactly. MaxNodes (not a wall-clock deadline) bounds
 // the search so the oracle comparison stays deterministic.
 func FuzzSolve(f *testing.F) {
-	f.Add([]byte{})                                        // 1 var, no constraints
-	f.Add([]byte{2, 1, 1, 3, 250, 5, 0, 2, 1, 1, 1})       // maximize under a <=
-	f.Add([]byte{4, 2, 0, 7, 7, 9, 9, 9, 2, 4, 1, 1, 2})   // minimize with EQ
-	f.Add([]byte{5, 5, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0,    // dense: 6 vars,
-		1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2, 1, 0, 2, 1,    // 5 mixed
-		0, 1, 2, 0, 1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2})   // constraints
-	f.Add([]byte{0, 1, 0, 8, 2, 200, 1})                   // likely infeasible EQ
+	f.Add([]byte{})                                      // 1 var, no constraints
+	f.Add([]byte{2, 1, 1, 3, 250, 5, 0, 2, 1, 1, 1})     // maximize under a <=
+	f.Add([]byte{4, 2, 0, 7, 7, 9, 9, 9, 2, 4, 1, 1, 2}) // minimize with EQ
+	f.Add([]byte{5, 5, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0,  // dense: 6 vars,
+		1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2, 1, 0, 2, 1, // 5 mixed
+		0, 1, 2, 0, 1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2}) // constraints
+	f.Add([]byte{0, 1, 0, 8, 2, 200, 1}) // likely infeasible EQ
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, obj, n := decodeModel(data)

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // defaultMaxNodes is the node budget applied when Options.MaxNodes is 0.
@@ -113,7 +112,7 @@ func (m *Model) solveParallel(opts Options) *Solution {
 	}
 	lo, hi, hasInt := m.rootBounds()
 
-	root := solveLP(m, lo, hi, opts.Deadline)
+	root := solveLP(m, lo, hi, opts.Deadline, opts.Clock)
 	if root.status == statusDeadline {
 		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
 	}
@@ -143,7 +142,7 @@ func (m *Model) solveParallel(opts Options) *Solution {
 			deadlineHit = true
 			break
 		}
-		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && opts.now().After(opts.Deadline) {
 			deadlineHit = true
 			break
 		}
@@ -152,7 +151,7 @@ func (m *Model) solveParallel(opts Options) *Solution {
 		if incumbentX != nil && m.better(m.pruneFloor(opts.RelGap, incumbent), nd.bound) {
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
 		nodes++
 		if res.status == statusDeadline {
 			deadlineHit = true
@@ -284,7 +283,7 @@ func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedIn
 			cut = true
 			break
 		}
-		if !opts.Deadline.IsZero() && nodes%16 == 0 && time.Now().After(opts.Deadline) {
+		if !opts.Deadline.IsZero() && nodes%16 == 0 && opts.now().After(opts.Deadline) {
 			cut = true
 			break
 		}
@@ -304,7 +303,7 @@ func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedIn
 			stats.SharedPrunes.Add(1)
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline)
+		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
 		nodes++
 		stats.LPSolves.Add(1)
 		if res.status == statusDeadline {

@@ -44,7 +44,10 @@ type stdVar struct {
 // Integrality is ignored. A non-zero deadline is enforced inside both
 // phases' pivot loops (not only between branch-and-bound nodes), so a
 // degenerate LP cannot blow the budget before the search even starts.
-func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
+func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Time) lpResult {
+	if clk == nil {
+		clk = time.Now
+	}
 	n := len(m.vars)
 	for j := 0; j < n; j++ {
 		if lo[j] > hi[j]+tolFeas {
@@ -245,7 +248,7 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
 				}
 			}
 		}
-		switch runSimplex(tab, basis, cost, totalCols, deadline) {
+		switch runSimplex(tab, basis, cost, totalCols, deadline, clk) {
 		case Unbounded:
 			// Phase 1 objective is bounded below by 0; unbounded here means
 			// numerical trouble. Report infeasible conservatively.
@@ -312,7 +315,7 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
 			}
 		}
 	}
-	switch runSimplex(tab, basis, cost, totalCols, deadline) {
+	switch runSimplex(tab, basis, cost, totalCols, deadline, clk) {
 	case Unbounded:
 		return lpResult{status: Unbounded}
 	case statusDeadline:
@@ -351,12 +354,12 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time) lpResult {
 // unbounded, or the deadline. cost is the current (priced-out) objective
 // row with the running negative objective value in its rhs slot. Dantzig
 // pricing with a switch to Bland's rule guards against cycling.
-func runSimplex(tab [][]float64, basis []int, cost []float64, totalCols int, deadline time.Time) Status {
+func runSimplex(tab [][]float64, basis []int, cost []float64, totalCols int, deadline time.Time, clk func() time.Time) Status {
 	mRows := len(tab)
 	maxIter := 200*(mRows+totalCols) + 2000
 	blandAfter := 20*(mRows+totalCols) + 500
 	for iter := 0; iter < maxIter; iter++ {
-		if !deadline.IsZero() && iter%deadlineCheckEvery == 0 && time.Now().After(deadline) {
+		if !deadline.IsZero() && iter%deadlineCheckEvery == 0 && clk().After(deadline) {
 			return statusDeadline
 		}
 		// Entering column.

@@ -265,6 +265,33 @@ func (m *Memory) WriteCheckpoint(c *Checkpoint) error {
 // Lag implements Lagger: the number of records since the last checkpoint.
 func (m *Memory) Lag() int { return len(m.tail) }
 
+// Clone returns an independent copy of the journal's durable state. The
+// encoded record bytes are shared (they are never mutated after append),
+// so a clone is cheap; appends and checkpoints on either side do not
+// affect the other. Deterministic-simulation harnesses recover a clone
+// to compare journal truth against live state without disturbing the
+// member's real journal.
+func (m *Memory) Clone() *Memory { return m.ClonePrefix(len(m.tail)) }
+
+// ClonePrefix returns a clone holding the checkpoint plus only the first
+// n tail records — the journal exactly as a crash after the nth
+// post-checkpoint append would have left it. n is clamped to the tail
+// length. The prefix-replay property tests drive core.Recover over every
+// such prefix.
+func (m *Memory) ClonePrefix(n int) *Memory {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(m.tail) {
+		n = len(m.tail)
+	}
+	return &Memory{
+		seq:        m.seq,
+		tail:       append([][]byte(nil), m.tail[:n]...),
+		checkpoint: m.checkpoint,
+	}
+}
+
 // Load implements Journal.
 func (m *Memory) Load() (*Checkpoint, []*Record, error) {
 	var cp *Checkpoint

@@ -3,7 +3,6 @@ package lra
 import (
 	"math/rand"
 	"sort"
-	"time"
 
 	"medea/internal/cluster"
 	"medea/internal/constraint"
@@ -131,7 +130,8 @@ func (g *greedy) filterEntries(entries []constraint.Entry) []constraint.Entry {
 
 // Place implements Algorithm.
 func (g *greedy) Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result {
-	start := time.Now()
+	clk := opts.clock()
+	start := clk()
 	work := state.Clone()
 	cons := g.filterEntries(flattenConstraints(apps, active))
 	reqs := buildRequests(apps)
@@ -236,7 +236,7 @@ func (g *greedy) Place(state *cluster.Cluster, apps []*Application, active []con
 		}
 	}
 
-	res := &Result{Latency: time.Since(start)}
+	res := &Result{Latency: clk().Sub(start)}
 	for ai, app := range apps {
 		p := Placement{AppID: app.ID, Placed: !failed[ai] && len(placedBy[ai]) == app.NumContainers()}
 		if p.Placed {

@@ -5,7 +5,6 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"time"
 
 	"medea/internal/cluster"
 	"medea/internal/constraint"
@@ -69,9 +68,10 @@ type atomInst struct {
 
 // Place implements Algorithm.
 func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result {
-	start := time.Now()
+	clk := opts.clock()
+	start := clk()
 	if len(apps) == 0 {
-		return &Result{Latency: time.Since(start)}
+		return &Result{Latency: clk().Sub(start)}
 	}
 	cons := flattenConstraints(apps, active)
 	w := opts.weights()
@@ -492,7 +492,7 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		if debugILP {
 			fmt.Printf("[ilp] model check failed: %v\n", err)
 		}
-		fb.Latency = time.Since(start)
+		fb.Latency = clk().Sub(start)
 		fb.Invalid = true
 		return fb
 	}
@@ -502,6 +502,7 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		RelGap:    0.01,
 		WarmStart: warm,
 		Workers:   opts.Workers,
+		Clock:     opts.Clock,
 	})
 	if debugILP {
 		warmObj := 0.0
@@ -516,7 +517,7 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 	if sol.Status != ilp.Optimal && sol.Status != ilp.Feasible {
 		// No incumbent within budget: degrade gracefully to the greedy
 		// placement rather than dropping the batch.
-		fb.Latency = time.Since(start)
+		fb.Latency = clk().Sub(start)
 		fb.DeadlineHit = sol.DeadlineHit
 		fb.Exhausted = sol.DeadlineHit
 		fb.Invalid = sol.Status == ilp.Invalid
@@ -583,11 +584,11 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 	// Medea-ILP never worse than its own heuristics (§5.3).
 	picker := bestOf{}
 	if picker.score(state, apps, active, fb) >= picker.score(state, apps, active, res) {
-		fb.Latency = time.Since(start)
+		fb.Latency = clk().Sub(start)
 		fb.DeadlineHit = sol.DeadlineHit
 		return fb
 	}
-	res.Latency = time.Since(start)
+	res.Latency = clk().Sub(start)
 	res.DeadlineHit = sol.DeadlineHit
 	return res
 }

@@ -34,6 +34,9 @@ type MigrationOptions struct {
 	// Movable restricts which containers may move (nil = all). Task
 	// containers are typically excluded: killing them has its own cost.
 	Movable func(cluster.ContainerID) bool
+	// Clock is the time source for the plan's latency stamp
+	// (nil = time.Now).
+	Clock func() time.Time
 }
 
 func (o MigrationOptions) maxMoves() int {
@@ -73,7 +76,11 @@ func (p *MigrationPlan) Improvement() float64 { return p.BeforeExtent - p.AfterE
 // as the reduction exceeds MoveCost. This terminates (extent strictly
 // decreases by at least MoveCost per move) and never worsens a placement.
 func PlanMigration(state *cluster.Cluster, entries []constraint.Entry, opts MigrationOptions) *MigrationPlan {
-	start := time.Now()
+	clk := opts.Clock
+	if clk == nil {
+		clk = time.Now
+	}
+	start := clk()
 	work := state.Clone()
 	cons := dedupEntries(constraint.ResolveConflicts(entries))
 	plan := &MigrationPlan{BeforeExtent: totalWeightedExtent(work, cons)}
@@ -101,7 +108,7 @@ func PlanMigration(state *cluster.Cluster, entries []constraint.Entry, opts Migr
 		current -= gain
 	}
 	plan.AfterExtent = totalWeightedExtent(work, cons)
-	plan.Latency = time.Since(start)
+	plan.Latency = clk().Sub(start)
 	return plan
 }
 

@@ -161,6 +161,18 @@ type Options struct {
 	// branch-and-bound is deterministic by construction and the scoring
 	// fan-out writes to index-addressed slots.
 	Workers int
+	// Clock is the time source for latency stamps and the ILP solver's
+	// deadline (nil = time.Now). Deterministic harnesses inject a virtual
+	// clock so placement outcomes never depend on the wall clock.
+	Clock func() time.Time
+}
+
+// clock returns the configured time source, defaulting to the wall clock.
+func (o Options) clock() func() time.Time {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return time.Now
 }
 
 func (o Options) weights() Weights {

@@ -22,6 +22,7 @@ type FedStats struct {
 	degradedQueued    atomic.Int64
 	degradedRecovered atomic.Int64
 	reconciled        atomic.Int64
+	rerouted          atomic.Int64
 }
 
 // AddRouted counts a submission accepted by some member (202).
@@ -68,6 +69,11 @@ func (s *FedStats) AddDegradedRecovered() { s.degradedRecovered.Add(1) }
 // ambiguous (timed-out) submit attempt was found to have landed.
 func (s *FedStats) AddReconciled() { s.reconciled.Add(1) }
 
+// AddRerouted counts an acknowledged application whose home member lost
+// it (crash before the submission became durable) and which the
+// balancer's anti-entropy sweep sent back through placement.
+func (s *FedStats) AddRerouted() { s.rerouted.Add(1) }
+
 // Routed returns the accepted-submission count.
 func (s *FedStats) Routed() int { return int(s.routed.Load()) }
 
@@ -104,6 +110,9 @@ func (s *FedStats) DegradedRecovered() int { return int(s.degradedRecovered.Load
 // Reconciled returns the duplicate-cleanup count.
 func (s *FedStats) Reconciled() int { return int(s.reconciled.Load()) }
 
+// Rerouted returns the anti-entropy re-route count.
+func (s *FedStats) Rerouted() int { return int(s.rerouted.Load()) }
+
 // Table renders the counters as a two-column summary table.
 func (s *FedStats) Table(title string) *Table {
 	t := NewTable(title, "metric", "value")
@@ -119,5 +128,6 @@ func (s *FedStats) Table(title string) *Table {
 	t.AddRow("degraded queued", s.DegradedQueued())
 	t.AddRow("degraded recovered", s.DegradedRecovered())
 	t.AddRow("reconciled", s.Reconciled())
+	t.AddRow("rerouted", s.Rerouted())
 	return t
 }

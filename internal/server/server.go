@@ -136,6 +136,9 @@ type Server struct {
 // New builds a server over an existing scheduler instance. The caller
 // keeps ownership of the core's journal (Close it after Drain).
 func New(med *core.Medea, cfg Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	if cfg.Admission == (AdmissionConfig{}) {
 		cfg.Admission = AdmissionConfig{
 			QueueHigh: cfg.queueCap(),
@@ -167,12 +170,11 @@ func New(med *core.Medea, cfg Config) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-func (s *Server) now() time.Time {
-	if s.cfg.Clock != nil {
-		return s.cfg.Clock()
-	}
-	return time.Now()
-}
+// now reads the server's single time source. The clock is resolved once
+// in New (nil config → time.Now), so there is no wall-clock fallback on
+// any code path — a simulated server can never accidentally observe real
+// time.
+func (s *Server) now() time.Time { return s.cfg.Clock() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
