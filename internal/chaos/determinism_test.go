@@ -106,6 +106,34 @@ func determinismScenario(workers int) (string, error) {
 	}
 	cycle()
 
+	// Warm-start phase: tear down and resubmit apps whose cross-cycle
+	// solver memory is still live (same IDs, same shapes), so the ILP
+	// scheduler replays remembered placements and branch orders as warm
+	// incumbents. Determinism must hold with that memory engaged, and the
+	// interleaved fresh app keeps the batch from being a pure replay.
+	if err := m.RemoveLRA("web-2"); err != nil {
+		return "", err
+	}
+	if err := m.RemoveLRA("cache-2"); err != nil {
+		return "", err
+	}
+	cycle()
+	if err := submit("web-2", 2, []constraint.Tag{"web"},
+		constraint.New(constraint.Affinity(constraint.E("web"), constraint.E("cache"), constraint.Rack))); err != nil {
+		return "", err
+	}
+	if err := submit("cache-2", 2, []constraint.Tag{"cache"}); err != nil {
+		return "", err
+	}
+	if err := submit("solo-1", 1, nil); err != nil {
+		return "", err
+	}
+	if err := submit("late", 2, nil); err != nil {
+		return "", err
+	}
+	cycle()
+	cycle()
+
 	if err := m.CheckInvariants(); err != nil {
 		return "", err
 	}

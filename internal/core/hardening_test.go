@@ -9,6 +9,7 @@ import (
 	"medea/internal/chaos"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
+	"medea/internal/ilp"
 	"medea/internal/lra"
 	"medea/internal/resource"
 )
@@ -197,5 +198,41 @@ func TestBreakerDisabled(t *testing.T) {
 	}
 	if m.Pipeline.BreakerTrips() != 0 {
 		t.Fatalf("disabled breaker tripped %d times", m.Pipeline.BreakerTrips())
+	}
+}
+
+// TestSolverModePipelineCounters: the solve-path counters flow from the
+// ILP scheduler through placeBatch into PipelineStats, and SetSolverMode
+// switches the path at runtime.
+func TestSolverModePipelineCounters(t *testing.T) {
+	m := newMedea(lra.NewILP(), Config{Interval: time.Second})
+	if err := m.SubmitLRA(app("a1", 4, "hb"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if stats := m.RunCycle(t0.Add(time.Second)); stats.Placed != 1 {
+		t.Fatalf("placed = %d", stats.Placed)
+	}
+	if got := m.Pipeline.ExactSolves(); got != 1 {
+		t.Fatalf("exact solves = %d, want 1", got)
+	}
+	if got := m.Pipeline.ApproxSolves(); got != 0 {
+		t.Fatalf("approx solves = %d, want 0", got)
+	}
+
+	m.SetSolverMode(ilp.ModeApprox, true)
+	if m.SolverMode() != ilp.ModeApprox {
+		t.Fatal("SolverMode not stored")
+	}
+	if err := m.SubmitLRA(app("a2", 4, "hb"), t0.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if stats := m.RunCycle(t0.Add(2 * time.Second)); stats.Placed != 1 {
+		t.Fatalf("approx-mode cycle placed = %d", stats.Placed)
+	}
+	// The forced approximate path may still prove the root integral (an
+	// exact optimum without rounding); either way exactly one more solve
+	// is accounted.
+	if total := m.Pipeline.ExactSolves() + m.Pipeline.ApproxSolves(); total != 2 {
+		t.Fatalf("total solves = %d, want 2", total)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"medea/internal/audit"
 	"medea/internal/cluster"
 	"medea/internal/constraint"
+	"medea/internal/ilp"
 	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/metrics"
@@ -350,6 +351,20 @@ func (m *Medea) SetSolverBudget(d time.Duration) {
 // the algorithm's own default).
 func (m *Medea) SolverBudget() time.Duration { return m.cfg.Options.SolverBudget }
 
+// SetSolverMode selects the ILP solving path at runtime — exact
+// branch-and-bound, the LP-rounding approximate path, or automatic
+// per-instance selection — and toggles the scheduler's cross-cycle
+// warm-start memory. Heuristic algorithms ignore both knobs. The DST
+// harness flips them mid-run to prove every path yields valid,
+// deterministic placements.
+func (m *Medea) SetSolverMode(mode ilp.Mode, disableCycleWarm bool) {
+	m.cfg.Options.SolverMode = mode
+	m.cfg.Options.DisableCycleWarm = disableCycleWarm
+}
+
+// SolverMode returns the currently configured ILP solving path.
+func (m *Medea) SolverMode() ilp.Mode { return m.cfg.Options.SolverMode }
+
 // logRecord appends one WAL record, fail-stop: a scheduler that cannot
 // persist a state transition must not keep applying it.
 func (m *Medea) logRecord(r *journal.Record) {
@@ -643,6 +658,9 @@ func (m *Medea) placeBatch(alg lra.Algorithm, apps []*lra.Application, active []
 		merged.DeadlineHit = merged.DeadlineHit || r.DeadlineHit
 		merged.Exhausted = merged.Exhausted || r.Exhausted
 		merged.Invalid = merged.Invalid || r.Invalid
+		merged.ExactSolves += r.ExactSolves
+		merged.ApproxSolves += r.ApproxSolves
+		merged.WarmStarts += r.WarmStarts
 	}
 	return merged
 }
@@ -676,6 +694,11 @@ func appEntries(app *lra.Application) []constraint.Entry {
 func (m *Medea) RunCycle(now time.Time) CycleStats {
 	stats := CycleStats{}
 	m.cycles++
+	if ca, ok := m.alg.(lra.CycleAware); ok {
+		// Age the algorithm's cross-cycle memory exactly once per cycle,
+		// on the cycle's main goroutine, before any placement runs.
+		ca.BeginCycle()
+	}
 	// Journal the cycle bracket only when there is work: idle cycles
 	// change no durable state. The begin-batch record marks the listed
 	// pending apps in flight; if the process dies before the matching
@@ -746,6 +769,9 @@ func (m *Medea) RunCycle(now time.Time) CycleStats {
 	default:
 		stats.AlgLatency = res.Latency
 		stats.DeadlineHit = res.DeadlineHit
+		m.Pipeline.AddExactSolves(res.ExactSolves)
+		m.Pipeline.AddApproxSolves(res.ApproxSolves)
+		m.Pipeline.AddWarmStarts(res.WarmStarts)
 		if res.DeadlineHit {
 			m.Pipeline.AddDeadlineHit()
 		}

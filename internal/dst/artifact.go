@@ -12,14 +12,17 @@ import (
 // node faults carry explicit node lists, submissions carry their exact
 // demands.
 type Artifact struct {
-	Version    int        `json:"version"`
-	Seed       int64      `json:"seed"`
-	Members    int        `json:"members"`
-	Nodes      int        `json:"nodes"`
-	Inject     bool       `json:"inject,omitempty"`
-	Violation  *Violation `json:"violation"`
-	FullEvents int        `json:"full_events"`
-	Events     []Event    `json:"events"`
+	Version int   `json:"version"`
+	Seed    int64 `json:"seed"`
+	Members int   `json:"members"`
+	Nodes   int   `json:"nodes"`
+	Inject  bool  `json:"inject,omitempty"`
+	// MixedSolver must travel with the schedule: replaying EvSolverMode
+	// flips needs the members on the ILP scheduler.
+	MixedSolver bool       `json:"mixed_solver,omitempty"`
+	Violation   *Violation `json:"violation"`
+	FullEvents  int        `json:"full_events"`
+	Events      []Event    `json:"events"`
 }
 
 // artifactVersion guards the schema; bump on incompatible Event changes.
@@ -28,20 +31,21 @@ const artifactVersion = 1
 // NewArtifact packages a failing run for replay.
 func NewArtifact(cfg Config, v *Violation, minimized []Event, fullLen int) *Artifact {
 	return &Artifact{
-		Version:    artifactVersion,
-		Seed:       cfg.Seed,
-		Members:    cfg.members(),
-		Nodes:      cfg.nodes(),
-		Inject:     cfg.Inject,
-		Violation:  v,
-		FullEvents: fullLen,
-		Events:     minimized,
+		Version:     artifactVersion,
+		Seed:        cfg.Seed,
+		Members:     cfg.members(),
+		Nodes:       cfg.nodes(),
+		Inject:      cfg.Inject,
+		MixedSolver: cfg.MixedSolver,
+		Violation:   v,
+		FullEvents:  fullLen,
+		Events:      minimized,
 	}
 }
 
 // Config rebuilds the run configuration the artifact's schedule expects.
 func (a *Artifact) Config() Config {
-	return Config{Seed: a.Seed, Members: a.Members, Nodes: a.Nodes, Inject: a.Inject}
+	return Config{Seed: a.Seed, Members: a.Members, Nodes: a.Nodes, Inject: a.Inject, MixedSolver: a.MixedSolver}
 }
 
 // Replay runs the artifact's schedule and returns the result; the

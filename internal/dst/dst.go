@@ -40,6 +40,13 @@ type Config struct {
 	// expected to catch it; a run that passes despite Inject means the
 	// checker has gone blind.
 	Inject bool
+	// MixedSolver runs every member on the ILP scheduler and mixes
+	// solver-mode flips (exact / auto / approx, warm memory on or off)
+	// into the schedule, proving every solving path yields valid,
+	// deterministic placements under faults. Off by default: the flag
+	// gates both the algorithm choice and the extra RNG draws, so
+	// existing seeds replay byte-identically.
+	MixedSolver bool
 }
 
 func (c Config) events() int {

@@ -49,6 +49,10 @@ const (
 	// first placed app is dropped from the balancer's ledger while its
 	// member keeps running it. The checker must catch this.
 	EvInject EventKind = "inject"
+	// EvSolverMode flips one member's ILP solving path (exact / auto /
+	// approx) and its cross-cycle warm-start memory at runtime. Only
+	// generated under Config.MixedSolver.
+	EvSolverMode EventKind = "solvermode"
 )
 
 // Event is one schedule entry. Exactly the fields its Kind needs are
@@ -75,6 +79,11 @@ type Event struct {
 	Fail    []int `json:"fail,omitempty"`
 	Drain   []int `json:"drain,omitempty"`
 	Recover []int `json:"recover,omitempty"`
+
+	// SolverMode / DisableWarm carry an EvSolverMode flip ("exact",
+	// "auto" or "approx"; warm memory off when DisableWarm).
+	SolverMode  string `json:"solver_mode,omitempty"`
+	DisableWarm bool   `json:"disable_warm,omitempty"`
 }
 
 func (e Event) describe() string {
@@ -89,6 +98,8 @@ func (e Event) describe() string {
 		return fmt.Sprintf("%s %s delay=%dms every=%d", e.Kind, e.Member, e.DelayMs, e.Every)
 	case EvNodeFault:
 		return fmt.Sprintf("nodefault %s fail=%v drain=%v recover=%v", e.Member, e.Fail, e.Drain, e.Recover)
+	case EvSolverMode:
+		return fmt.Sprintf("solvermode %s mode=%s disable_warm=%v", e.Member, e.SolverMode, e.DisableWarm)
 	case EvStep:
 		return "step"
 	default:
@@ -161,7 +172,16 @@ func Generate(cfg Config) []Event {
 			s.AdvanceMs = ev.AdvanceMs
 			ev = s
 			apps = append(apps, id)
-		case roll < 550: // step
+		case roll < 550: // step (under MixedSolver, some become mode flips)
+			if cfg.MixedSolver && roll < 340 {
+				// Carved from the step band only when the flag is set, so
+				// runs without it draw the identical RNG sequence.
+				ev.Kind = EvSolverMode
+				ev.Member = memberID(rng.Intn(members))
+				ev.SolverMode = []string{"exact", "auto", "approx"}[rng.Intn(3)]
+				ev.DisableWarm = rng.Intn(4) == 0
+				break
+			}
 			ev.Kind = EvStep
 		case roll < 610: // remove
 			if len(apps) == 0 {

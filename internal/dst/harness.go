@@ -10,6 +10,7 @@ import (
 	"medea/internal/cluster"
 	"medea/internal/core"
 	"medea/internal/federation"
+	"medea/internal/ilp"
 	"medea/internal/journal"
 	"medea/internal/lra"
 	"medea/internal/resource"
@@ -72,6 +73,16 @@ type harness struct {
 	lostSince map[string]int
 
 	trace bytes.Buffer
+}
+
+// memberAlgorithm picks the fleet's LRA algorithm factory: the default
+// heuristic, or — under MixedSolver — the full ILP scheduler whose
+// exact/approx/warm paths the schedule flips at runtime.
+func memberAlgorithm(cfg Config) func() lra.Algorithm {
+	if !cfg.MixedSolver {
+		return nil
+	}
+	return lra.NewILP
 }
 
 func (h *harness) clock() time.Time { return h.now }
@@ -151,6 +162,11 @@ func newHarness(cfg Config) (*harness, error) {
 			return cj
 		},
 		VirtualDelay: true,
+		// MixedSolver runs the members on the ILP scheduler so the
+		// EvSolverMode flips actually steer solver paths; a restart loses
+		// the scheduler's in-memory solver state (arena pool, cross-cycle
+		// warm memory), exactly like a real process.
+		Algorithm: memberAlgorithm(cfg),
 		// Real-time budgets are set far beyond anything an in-process
 		// call can take: wall-clock never decides an outcome; injected
 		// faults (which surface instantly under VirtualDelay) do.
@@ -361,6 +377,13 @@ func (h *harness) apply(i int, ev Event) *Violation {
 		}
 		h.fleet.Balancer.Forget(app)
 		h.tracef("    injected: ledger entry for %s dropped", app)
+
+	case EvSolverMode:
+		if h.crashed[ev.Member] {
+			h.tracef("    noop: member crashed")
+			break
+		}
+		h.member(ev.Member).Med.SetSolverMode(ilp.ParseMode(ev.SolverMode), ev.DisableWarm)
 	}
 	return nil
 }

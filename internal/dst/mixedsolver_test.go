@@ -1,0 +1,87 @@
+package dst
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestMixedSolverSchedulesFlipModes checks the generator's gating both
+// ways: MixedSolver schedules actually contain solver-mode flips, and
+// leaving the flag off keeps them out entirely (so existing seeds draw
+// the identical RNG sequence and replay byte-for-byte).
+func TestMixedSolverSchedulesFlipModes(t *testing.T) {
+	countFlips := func(evs []Event) int {
+		n := 0
+		for _, ev := range evs {
+			if ev.Kind == EvSolverMode {
+				n++
+			}
+		}
+		return n
+	}
+	for _, seed := range []int64{2, 9} {
+		plain := Generate(Config{Seed: seed, Events: 200})
+		if n := countFlips(plain); n != 0 {
+			t.Fatalf("seed %d: %d solvermode events without MixedSolver", seed, n)
+		}
+		mixed := Generate(Config{Seed: seed, Events: 200, MixedSolver: true})
+		if n := countFlips(mixed); n == 0 {
+			t.Fatalf("seed %d: MixedSolver schedule has no solvermode events", seed)
+		}
+	}
+}
+
+// TestMixedSolverDeterministic extends the byte-identical-trace contract
+// to the ILP members: with every member solving via the ILP scheduler —
+// arena reuse, cross-cycle warm starts, and runtime exact/auto/approx
+// flips all engaged — the same seed must still produce the same bytes.
+// This is the strongest statement the repo makes about solver
+// determinism: pooled memory and warm-start memory may change *how* a
+// solution is reached, never *which* solution a given history yields.
+func TestMixedSolverDeterministic(t *testing.T) {
+	for _, seed := range []int64{4, 21} {
+		cfg := Config{Seed: seed, Events: 200, MixedSolver: true}
+		evs1 := Generate(cfg)
+		evs2 := Generate(cfg)
+		if !reflect.DeepEqual(evs1, evs2) {
+			t.Fatalf("seed %d: Generate is not deterministic under MixedSolver", seed)
+		}
+		r1 := Run(cfg, evs1)
+		r2 := Run(cfg, evs2)
+		if !bytes.Equal(r1.Trace, r2.Trace) {
+			t.Fatalf("seed %d: traces differ between two MixedSolver runs", seed)
+		}
+	}
+}
+
+// TestMixedSolverSmokeSweep runs a seed range with ILP members under the
+// full fault schedule (crashes dropping warm memory, partitions,
+// mid-flight mode flips). Every invariant — capacity, ledger/member
+// agreement, journal recoverability — must hold on every path.
+func TestMixedSolverSmokeSweep(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := RunSeed(Config{Seed: seed, Events: 120, MixedSolver: true})
+		if r.Violation != nil {
+			t.Errorf("seed %d: %v\ntrace tail:\n%s", seed, r.Violation, traceTail(r.Trace, 3000))
+		}
+	}
+}
+
+// TestMixedSolverArtifactRoundTrip pins the MixedSolver flag into the
+// artifact schema: a schedule with solver-mode flips replayed from disk
+// must rebuild the fleet on the ILP scheduler, or the flips degrade to
+// meaningless no-ops against the default algorithm.
+func TestMixedSolverArtifactRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 7, Events: 150, MixedSolver: true}
+	art := NewArtifact(cfg, nil, Generate(cfg), 150)
+	got := art.Config()
+	if !got.MixedSolver {
+		t.Fatal("artifact round-trip dropped MixedSolver")
+	}
+	r1 := Run(cfg, art.Events)
+	r2 := art.Replay()
+	if !bytes.Equal(r1.Trace, r2.Trace) {
+		t.Fatal("artifact replay trace differs from direct run")
+	}
+}

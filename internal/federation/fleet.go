@@ -9,6 +9,7 @@ import (
 
 	"medea/internal/core"
 	"medea/internal/journal"
+	"medea/internal/lra"
 	"medea/internal/metrics"
 	"medea/internal/resource"
 	"medea/internal/server"
@@ -43,6 +44,9 @@ type FleetConfig struct {
 	// injected slowness surfaces as an immediate DeadlineExceeded instead
 	// of a real timer stall (see MemberConfig.VirtualDelay).
 	VirtualDelay bool
+	// Algorithm builds each member's LRA placement algorithm (nil =
+	// Medea-NC); see MemberConfig.Algorithm.
+	Algorithm func() lra.Algorithm
 	// Scout and Route tune the federation layer.
 	Scout ScoutConfig
 	Route RouteConfig
@@ -143,6 +147,7 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 			Journal:      jnl,
 			Now:          now,
 			VirtualDelay: cfg.VirtualDelay,
+			Algorithm:    cfg.Algorithm,
 		})
 		if err != nil {
 			return nil, err

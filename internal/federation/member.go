@@ -162,13 +162,26 @@ type MemberConfig struct {
 	// stall would observe, with zero wall-clock spent. Deterministic
 	// simulation runs entirely on virtual time and needs this.
 	VirtualDelay bool
+	// Algorithm builds the member's LRA placement algorithm (nil =
+	// Medea-NC). It is called once at construction and again on every
+	// Restart: a restarted process loses in-memory solver state (arena
+	// pools, cross-cycle warm memory) exactly like a real one.
+	Algorithm func() lra.Algorithm
+}
+
+// algorithm resolves the configured algorithm factory.
+func (cfg MemberConfig) algorithm() lra.Algorithm {
+	if cfg.Algorithm != nil {
+		return cfg.Algorithm()
+	}
+	return lra.NewNodeCandidates()
 }
 
 // NewMember builds a member cluster with its serving layer and journal
 // attached.
 func NewMember(cfg MemberConfig) (*Member, error) {
 	cl := cluster.Grid(cfg.Nodes, cfg.RackSize, cfg.NodeCap)
-	med := core.New(cl, lra.NewNodeCandidates(), cfg.Core)
+	med := core.New(cl, cfg.algorithm(), cfg.Core)
 	jnl := cfg.Journal
 	if jnl == nil {
 		jnl = journal.NewMemory()
@@ -195,7 +208,7 @@ func (m *Member) Restart(now time.Time) error {
 	if !m.Gate.Crashed() {
 		return nil
 	}
-	med, err := core.Recover(m.Jnl, m.Med.Cluster, lra.NewNodeCandidates(), m.cfg.Core, now)
+	med, err := core.Recover(m.Jnl, m.Med.Cluster, m.cfg.algorithm(), m.cfg.Core, now)
 	if err != nil {
 		return fmt.Errorf("federation: restarting %s: %w", m.ID, err)
 	}

@@ -1,0 +1,241 @@
+package ilp
+
+import "math"
+
+// SolverArena owns every piece of reusable solver memory: the simplex
+// scratch (standard-form mapping, row assembly, tableau, cost rows,
+// solution extraction), the branch-and-bound bound-vector free lists and
+// a reusable CSR build area. Threading one arena through ilp.Options
+// across solves removes nearly all per-solve allocations — consecutive
+// scheduling cycles solve near-identical models, so the grown buffers fit
+// immediately.
+//
+// Determinism contract: an arena is plain grow-only memory, not a
+// sync.Pool — which goroutine-slot serves which worker is fixed by the
+// worker index, so reuse can never reorder or perturb results. Every
+// buffer handed out is fully (re)initialised by its consumer before any
+// element is read; Poison exists so tests can prove that (fill the arena
+// with garbage between solves and demand byte-identical solutions).
+//
+// Concurrency contract: one arena serves ONE solve at a time. The
+// parallel solver hands slot w to worker w (slot 0 doubles as the main
+// goroutine's scratch, which is safe: the main goroutine blocks while
+// workers run). Callers that solve concurrently — the LRA scheduler's
+// sub-batches — keep a free list of whole arenas and check one out per
+// solve.
+type SolverArena struct {
+	slots []*solveScratch
+	// prep is the reusable CSR build area for models that were not
+	// prepare()d: rebuilt (cheaply, into the same backing arrays) at the
+	// start of each solve and read-only while workers run.
+	prep prepared
+}
+
+// NewSolverArena returns an empty arena; buffers grow on first use.
+func NewSolverArena() *SolverArena { return &SolverArena{} }
+
+// solveScratch is the per-goroutine-slot reusable memory: the LP scratch
+// plus the bound-vector free list feeding branch-and-bound nodes.
+type solveScratch struct {
+	lp   lpScratch
+	pool boundsPool
+}
+
+// ensure grows the slot table to at least n slots. It must be called on
+// the solve's main goroutine before any worker starts.
+func (a *SolverArena) ensure(n int) {
+	for len(a.slots) < n {
+		a.slots = append(a.slots, &solveScratch{})
+	}
+}
+
+// slot returns scratch i; ensure(i+1) must have been called.
+func (a *SolverArena) slot(i int) *solveScratch { return a.slots[i] }
+
+// preparedFor returns the CSR constraint matrix for m, reusing the
+// arena's build area when the model was not already prepare()d. The
+// result is valid until the arena's next preparedFor call, which is fine:
+// one arena serves one solve at a time and the matrix is immutable for
+// that solve's duration.
+func (a *SolverArena) preparedFor(m *Model) *prepared {
+	if m.prep != nil {
+		return m.prep
+	}
+	p := &a.prep
+	nTerms := 0
+	for i := range m.cons {
+		nTerms += len(m.cons[i].terms)
+	}
+	p.rowStart = growInt(p.rowStart, len(m.cons)+1)
+	p.cols = growInt(p.cols, nTerms)
+	p.coefs = growF64(p.coefs, nTerms)
+	p.conLo = growF64(p.conLo, len(m.cons))
+	p.conHi = growF64(p.conHi, len(m.cons))
+	at := 0
+	for i := range m.cons {
+		c := &m.cons[i]
+		p.rowStart[i] = at
+		for _, t := range c.terms {
+			p.cols[at] = int(t.Var)
+			p.coefs[at] = t.Coeff
+			at++
+		}
+		p.conLo[i], p.conHi[i] = c.lo, c.hi
+	}
+	p.rowStart[len(m.cons)] = at
+	return p
+}
+
+// Poison overwrites every byte of reusable arena memory with garbage
+// (NaN / minimum ints). It is a test hook: a solve after Poison must
+// still produce byte-identical results, proving no stale value survives
+// into a solution. Calling it between solves in production would be
+// harmless but pointless.
+func (a *SolverArena) Poison() {
+	poisonF64(a.prep.coefs[:cap(a.prep.coefs)])
+	poisonF64(a.prep.conLo[:cap(a.prep.conLo)])
+	poisonF64(a.prep.conHi[:cap(a.prep.conHi)])
+	poisonInt(a.prep.rowStart[:cap(a.prep.rowStart)])
+	poisonInt(a.prep.cols[:cap(a.prep.cols)])
+	for _, s := range a.slots {
+		s.lp.poison()
+		s.pool.poison()
+	}
+}
+
+// lpScratch holds the reusable buffers of one LP relaxation solve. All
+// buffers are grow-only; every element read during a solve is written
+// earlier in that same solve (poisoned-arena tests enforce this), so
+// nothing from a previous — possibly unrelated — model can leak into a
+// result.
+type lpScratch struct {
+	svars  []stdVar
+	colOf  []int
+	fixed  []float64
+	ubCol  []int     // std columns with a finite range width...
+	ubWide []float64 // ...and the width itself (parallel arrays)
+	conRow []float64 // one constraint row being assembled
+	rowA   []float64 // row coefficients, flat, stride nStructural
+	rowRel []int8    // -1: <=, 0: ==, +1: >=
+	rowB   []float64
+	tabF   []float64   // flat tableau backing, stride totalCols+1
+	tab    [][]float64 // row headers into tabF
+	basis  []int
+	cost   []float64
+	stdVal []float64
+	x      []float64 // extracted model-space solution (lpResult.x)
+}
+
+func (sc *lpScratch) poison() {
+	poisonF64(sc.fixed[:cap(sc.fixed)])
+	poisonF64(sc.ubWide[:cap(sc.ubWide)])
+	poisonF64(sc.conRow[:cap(sc.conRow)])
+	poisonF64(sc.rowA[:cap(sc.rowA)])
+	poisonF64(sc.rowB[:cap(sc.rowB)])
+	poisonF64(sc.tabF[:cap(sc.tabF)])
+	poisonF64(sc.cost[:cap(sc.cost)])
+	poisonF64(sc.stdVal[:cap(sc.stdVal)])
+	poisonF64(sc.x[:cap(sc.x)])
+	poisonInt(sc.colOf[:cap(sc.colOf)])
+	poisonInt(sc.ubCol[:cap(sc.ubCol)])
+	poisonInt(sc.basis[:cap(sc.basis)])
+	sv := sc.svars[:cap(sc.svars)]
+	for i := range sv {
+		sv[i] = stdVar{model: math.MinInt, shift: math.NaN(), sign: math.NaN()}
+	}
+	rel := sc.rowRel[:cap(sc.rowRel)]
+	for i := range rel {
+		rel[i] = math.MinInt8
+	}
+	tab := sc.tab[:cap(sc.tab)]
+	for i := range tab {
+		tab[i] = nil
+	}
+}
+
+// boundsPool is the free list feeding branch-and-bound node bound
+// vectors (bbNode.lo/hi). All vectors of one solve share the model's
+// variable count; reset pins the pool to it and drops buffers from any
+// previous, differently-sized model. get returns UNINITIALISED memory —
+// the only consumer is branch(), which copies the full parent vector
+// before mutating one entry.
+type boundsPool struct {
+	n    int
+	free [][]float64
+}
+
+func (p *boundsPool) reset(n int) {
+	if p.n != n {
+		p.free = p.free[:0]
+		p.n = n
+	}
+}
+
+func (p *boundsPool) get() []float64 {
+	if len(p.free) > 0 {
+		b := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		return b
+	}
+	return make([]float64, p.n)
+}
+
+// cloneOf returns a pooled copy of src (which must have length p.n).
+func (p *boundsPool) cloneOf(src []float64) []float64 {
+	b := p.get()
+	copy(b, src)
+	return b
+}
+
+// release returns a node's bound vectors to the free list. Wrong-size
+// buffers (from a caller-constructed root) are dropped, not recycled.
+func (p *boundsPool) release(nd bbNode) {
+	if cap(nd.lo) >= p.n {
+		p.free = append(p.free, nd.lo[:p.n])
+	}
+	if cap(nd.hi) >= p.n {
+		p.free = append(p.free, nd.hi[:p.n])
+	}
+}
+
+func (p *boundsPool) poison() {
+	for _, b := range p.free {
+		poisonF64(b[:cap(b)])
+	}
+}
+
+// growF64 returns a slice of length n, reusing buf's backing array when
+// it is large enough. Contents are unspecified: callers fully overwrite
+// (or explicitly clear) before reading.
+func growF64(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n, n+n/2+16)
+}
+
+// growInt is growF64 for int slices.
+func growInt(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n, n+n/2+16)
+}
+
+func clearF64(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func poisonF64(s []float64) {
+	for i := range s {
+		s[i] = math.NaN()
+	}
+}
+
+func poisonInt(s []int) {
+	for i := range s {
+		s[i] = math.MinInt
+	}
+}

@@ -23,6 +23,17 @@ type Options struct {
 	// incumbent — branch-and-bound then only ever improves on it. An
 	// infeasible warm start is ignored.
 	WarmStart map[Var]float64
+	// WarmStarts supplies additional warm-start candidates (e.g. the
+	// previous scheduling cycle's solution next to the greedy heuristic's).
+	// Every candidate is evaluated like WarmStart; the best feasible one
+	// (objective, then lexicographic tie-break) seeds the incumbent.
+	WarmStarts []map[Var]float64
+	// BranchPriority orders branching: the first fractional variable in
+	// this list is branched before the default most-fractional rule kicks
+	// in. Callers replay the previous cycle's recorded branch order
+	// (Solution.Branched) so near-identical models re-walk yesterday's
+	// tree first. Unknown or non-integer entries are ignored.
+	BranchPriority []Var
 	// Workers is the number of concurrent subtree workers of the parallel
 	// branch-and-bound (0 = runtime.NumCPU()). The search is deterministic
 	// by construction: the frontier fanned out to the pool is fixed ahead
@@ -36,6 +47,18 @@ type Options struct {
 	// budget for the duration of a solve and so removes the wall clock
 	// from solver outcomes entirely.
 	Clock func() time.Time
+	// Arena supplies the reusable solver memory (see SolverArena). Nil
+	// makes the solve allocate a private arena: within-solve reuse still
+	// applies, but nothing carries to the next solve. One arena must not
+	// serve two concurrent solves.
+	Arena *SolverArena
+	// Mode selects the solving path: ModeExact (zero value) is
+	// branch-and-bound, ModeApprox the LP-relaxation + randomized-rounding
+	// fast path, ModeAuto picks per instance (see effectiveMode).
+	Mode Mode
+	// ApproxIntVars is the ModeAuto threshold: models with at least this
+	// many integer variables take the approximate path (0 = 256).
+	ApproxIntVars int
 }
 
 // now reads the configured clock, defaulting to the wall clock.
@@ -51,6 +74,10 @@ func (o Options) now() time.Time {
 // this margin, so float noise in LP bounds cannot make tie-for-best
 // solutions appear in one run and vanish in another.
 const tolObj = 1e-9
+
+// maxBranchedRecord caps Solution.Branched: the next cycle only replays
+// the top of the tree, so recording deep branches buys nothing.
+const maxBranchedRecord = 32
 
 type bbNode struct {
 	lo, hi []float64
@@ -96,35 +123,82 @@ func (m *Model) rootBounds() (lo, hi []float64, hasInt bool) {
 	return lo, hi, hasInt
 }
 
-// warmIncumbent evaluates Options.WarmStart: it fixes the supplied
-// integer values, solves one LP for the remainder and returns the
-// resulting incumbent. ok is false when the warm start is absent, out of
-// range or infeasible.
-func (m *Model) warmIncumbent(opts Options, lo, hi []float64) (obj float64, x []float64, ok bool) {
-	if opts.WarmStart == nil {
+// preparedFor resolves the CSR constraint matrix for one solve: a model
+// already prepare()d (or solving without a caller arena, where the model
+// itself is the natural cache) keeps the per-model copy; with a caller
+// arena the matrix is rebuilt into the arena's reused buffers, so solving
+// a fresh structurally-identical model every cycle costs no allocation.
+func (m *Model) preparedFor(opts Options, arena *SolverArena) *prepared {
+	if opts.Arena == nil {
+		return m.prepare()
+	}
+	return arena.preparedFor(m)
+}
+
+// warmIncumbent evaluates Options.WarmStart and every Options.WarmStarts
+// candidate: each fixes its supplied integer values, solves one LP for
+// the remainder, and the best feasible outcome (objective first, then
+// lexicographic assignment — a deterministic tie-break) becomes the
+// initial incumbent. ok is false when no candidate is feasible.
+func (m *Model) warmIncumbent(opts Options, p *prepared, lo, hi []float64, sc *lpScratch) (obj float64, x []float64, ok bool) {
+	if opts.WarmStart == nil && len(opts.WarmStarts) == 0 {
 		return 0, nil, false
 	}
 	n := len(m.vars)
-	wlo, whi := clone(lo), clone(hi)
-	for v, val := range opts.WarmStart {
-		j := int(v)
-		if j < 0 || j >= n {
+	var wlo, whi []float64
+	tryOne := func(ws map[Var]float64) (float64, []float64, bool) {
+		if len(ws) == 0 {
 			return 0, nil, false
 		}
-		if val < wlo[j]-tolFeas || val > whi[j]+tolFeas {
-			return 0, nil, false
+		if wlo == nil {
+			wlo, whi = make([]float64, n), make([]float64, n)
 		}
-		wlo[j], whi[j] = val, val
+		copy(wlo, lo)
+		copy(whi, hi)
+		for v, val := range ws {
+			j := int(v)
+			if j < 0 || j >= n {
+				return 0, nil, false
+			}
+			if val < wlo[j]-tolFeas || val > whi[j]+tolFeas {
+				return 0, nil, false
+			}
+			wlo[j], whi[j] = val, val
+		}
+		if res := solveLP(m, p, wlo, whi, opts.Deadline, opts.Clock, sc); res.status == Optimal && m.integral(res.x) {
+			return res.obj, m.snap(res.x), true
+		}
+		return 0, nil, false
 	}
-	if res := solveLP(m, wlo, whi, opts.Deadline, opts.Clock); res.status == Optimal && m.integral(res.x) {
-		return res.obj, m.snap(res.x), true
+	consider := func(o float64, cx []float64, k bool) {
+		if !k {
+			return
+		}
+		if !ok || m.better(o, obj) || (o == obj && lexLess(cx, x)) {
+			obj, x, ok = o, cx, true
+		}
 	}
-	return 0, nil, false
+	consider(tryOne(opts.WarmStart))
+	for _, ws := range opts.WarmStarts {
+		consider(tryOne(ws))
+	}
+	return obj, x, ok
 }
 
-// branchVariable picks the most fractional integer variable of x, or -1
-// when x is integer feasible.
-func (m *Model) branchVariable(x []float64) int {
+// branchVariable picks the first fractional variable of the caller's
+// priority order, falling back to the most fractional integer variable of
+// x; -1 when x is integer feasible.
+func (m *Model) branchVariable(x []float64, prio []Var) int {
+	for _, v := range prio {
+		j := int(v)
+		if j < 0 || j >= len(m.vars) || !m.vars[j].integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if math.Min(f, 1-f) > tolInt {
+			return j
+		}
+	}
 	branchVar, frac := -1, 0.0
 	for j, v := range m.vars {
 		if !v.integer {
@@ -142,12 +216,13 @@ func (m *Model) branchVariable(x []float64) int {
 
 // branch splits nd on variable j at value v into the two child
 // subproblems, ordered so the more promising child (closer rounding) is
-// popped first off a LIFO stack.
-func branch(nd bbNode, j int, v, bound float64) (first, second bbNode) {
+// popped first off a LIFO stack. Child bound vectors come from the pool:
+// full parent copies, so pooled garbage can never reach a child.
+func branch(pl *boundsPool, nd bbNode, j int, v, bound float64) (first, second bbNode) {
 	fl, ce := math.Floor(v), math.Ceil(v)
-	down := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: bound, depth: nd.depth + 1}
+	down := bbNode{lo: pl.cloneOf(nd.lo), hi: pl.cloneOf(nd.hi), bound: bound, depth: nd.depth + 1}
 	down.hi[j] = math.Min(down.hi[j], fl)
-	up := bbNode{lo: clone(nd.lo), hi: clone(nd.hi), bound: bound, depth: nd.depth + 1}
+	up := bbNode{lo: pl.cloneOf(nd.lo), hi: pl.cloneOf(nd.hi), bound: bound, depth: nd.depth + 1}
 	up.lo[j] = math.Max(up.lo[j], ce)
 	if v-fl >= 0.5 {
 		return down, up
@@ -157,9 +232,19 @@ func branch(nd bbNode, j int, v, bound float64) (first, second bbNode) {
 
 // Solve optimises the model. Continuous models solve with one simplex
 // call; integer models run the deterministic parallel branch-and-bound
-// (see solveParallel). A model that fails Check returns Invalid without
-// solving.
+// (see solveParallel) or, when Options.Mode selects it, the approximate
+// relaxation+rounding path (see solveApprox). A model that fails Check
+// returns Invalid without solving.
 func (m *Model) Solve(opts Options) *Solution {
+	if m.effectiveMode(opts) == ModeApprox {
+		sol := m.solveApprox(opts)
+		// A strict ModeApprox keeps whatever rounding produced; ModeAuto
+		// falls back to the exact path when rounding found nothing and
+		// budget remains.
+		if sol.Status != NoSolution || sol.DeadlineHit || opts.Mode == ModeApprox {
+			return sol
+		}
+	}
 	return m.solveParallel(opts)
 }
 
@@ -172,14 +257,20 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 	if err := m.Check(); err != nil {
 		return &Solution{Status: Invalid}
 	}
-	m.prepare()
+	arena := opts.Arena
+	if arena == nil {
+		arena = NewSolverArena()
+	}
+	arena.ensure(1)
+	sc := arena.slot(0)
+	p := m.preparedFor(opts, arena)
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = defaultMaxNodes
 	}
 	lo, hi, hasInt := m.rootBounds()
 
-	root := solveLP(m, lo, hi, opts.Deadline, opts.Clock)
+	root := solveLP(m, p, lo, hi, opts.Deadline, opts.Clock, &sc.lp)
 	if root.status == statusDeadline {
 		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
 	}
@@ -189,14 +280,19 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 	if !hasInt || m.integral(root.x) {
 		return &Solution{Status: Optimal, Objective: root.obj, values: m.snap(root.x), Nodes: 1}
 	}
+	rootObj := root.obj
 
 	incumbent := m.worst()
 	var incumbentX []float64
-	if obj, x, ok := m.warmIncumbent(opts, lo, hi); ok {
-		incumbent, incumbentX = obj, x
+	warmUsed := false
+	if obj, x, ok := m.warmIncumbent(opts, p, lo, hi, &sc.lp); ok {
+		incumbent, incumbentX, warmUsed = obj, x, true
 	}
 	nodes := 0
-	stack := []bbNode{{lo: lo, hi: hi, bound: root.obj, depth: 0}}
+	sc.pool.reset(len(m.vars))
+	var branched []Var
+	branchSeen := make([]bool, len(m.vars))
+	stack := []bbNode{{lo: lo, hi: hi, bound: rootObj, depth: 0}}
 	deadlineHit := false
 
 	for len(stack) > 0 {
@@ -212,51 +308,65 @@ func (m *Model) SolveSequential(opts Options) *Solution {
 		stack = stack[:len(stack)-1]
 		// Bound pruning against the incumbent.
 		if incumbentX != nil && !m.better(nd.bound, incumbent) {
+			sc.pool.release(nd)
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
+		res := solveLP(m, p, nd.lo, nd.hi, opts.Deadline, opts.Clock, &sc.lp)
 		nodes++
 		if res.status == statusDeadline {
 			deadlineHit = true
 			break
 		}
 		if res.status != Optimal {
+			sc.pool.release(nd)
 			continue // infeasible (or numerically bad) subtree
 		}
 		if incumbentX != nil && !m.better(res.obj, incumbent) {
+			sc.pool.release(nd)
 			continue
 		}
-		branchVar := m.branchVariable(res.x)
+		branchVar := m.branchVariable(res.x, opts.BranchPriority)
 		if branchVar < 0 {
 			// Integer feasible.
 			if incumbentX == nil || m.better(res.obj, incumbent) {
 				incumbent = res.obj
 				incumbentX = m.snap(res.x)
 				if opts.RelGap > 0 {
-					gap := math.Abs(root.obj-incumbent) / math.Max(1, math.Abs(incumbent))
+					gap := math.Abs(rootObj-incumbent) / math.Max(1, math.Abs(incumbent))
 					if gap <= opts.RelGap {
+						sc.pool.release(nd)
 						break
 					}
 				}
 			}
+			sc.pool.release(nd)
 			continue
 		}
-		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
+		if !branchSeen[branchVar] && len(branched) < maxBranchedRecord {
+			branchSeen[branchVar] = true
+			branched = append(branched, Var(branchVar))
+		}
+		first, second := branch(&sc.pool, nd, branchVar, res.x[branchVar], res.obj)
+		sc.pool.release(nd)
 		// DFS: push the less promising child first so the more promising
 		// (closer rounding) is explored next.
 		stack = append(stack, second, first)
 	}
 
+	var sol *Solution
 	switch {
 	case incumbentX == nil && deadlineHit:
-		return &Solution{Status: NoSolution, Nodes: nodes, DeadlineHit: true}
+		sol = &Solution{Status: NoSolution, Nodes: nodes, DeadlineHit: true}
 	case incumbentX == nil:
-		return &Solution{Status: Infeasible, Nodes: nodes}
+		sol = &Solution{Status: Infeasible, Nodes: nodes}
 	case deadlineHit || len(stack) > 0:
-		return &Solution{Status: Feasible, Objective: incumbent, values: incumbentX, Nodes: nodes, DeadlineHit: deadlineHit}
+		sol = &Solution{Status: Feasible, Objective: incumbent, values: incumbentX, Nodes: nodes, DeadlineHit: deadlineHit}
 	default:
-		return &Solution{Status: Optimal, Objective: incumbent, values: incumbentX, Nodes: nodes}
+		sol = &Solution{Status: Optimal, Objective: incumbent, values: incumbentX, Nodes: nodes}
 	}
+	sol.WarmUsed = warmUsed && sol.values != nil
+	sol.Branched = branched
+	return sol
 }
 
 // integral reports whether all integer variables are integral within tol.

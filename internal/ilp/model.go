@@ -264,6 +264,17 @@ type Solution struct {
 	// one it is NoSolution. Callers use it to count budget exhaustion
 	// separately from ordinary optimal/infeasible outcomes.
 	DeadlineHit bool
+	// Approximate marks solutions produced by the relaxation+rounding
+	// path (Options.Mode Approx/Auto). An Optimal approximate solution
+	// met the LP relaxation bound and is provably optimal regardless.
+	Approximate bool
+	// WarmUsed reports that a supplied warm start (WarmStart/WarmStarts)
+	// was feasible and seeded the incumbent.
+	WarmUsed bool
+	// Branched lists, in first-branch order (capped), the variables the
+	// deterministic dive branched on. Callers solving near-identical
+	// models each cycle feed it back through Options.BranchPriority.
+	Branched []Var
 }
 
 // Value returns the value of v, rounded to exact integrality for integer

@@ -53,11 +53,11 @@ func checkAgainstSequential(t *testing.T, m *Model, label string) {
 	}
 }
 
-// TestOracleFuzzCorpusDifferential replays the FuzzSolve seed corpus —
-// the byte encodings that historically exercised tricky solver paths —
-// through the parallel-vs-sequential differential oracle.
-func TestOracleFuzzCorpusDifferential(t *testing.T) {
-	corpus := [][]byte{
+// fuzzCorpus returns the FuzzSolve seed corpus — the byte encodings that
+// historically exercised tricky solver paths — shared by the oracle,
+// arena-poisoning and approximate-path differential suites.
+func fuzzCorpus() [][]byte {
+	return [][]byte{
 		{},                                      // 1 var, no constraints
 		{2, 1, 1, 3, 250, 5, 0, 2, 1, 1, 1},     // maximize under a <=
 		{4, 2, 0, 7, 7, 9, 9, 9, 2, 4, 1, 1, 2}, // minimize with EQ
@@ -66,7 +66,12 @@ func TestOracleFuzzCorpusDifferential(t *testing.T) {
 			0, 1, 2, 0, 1, 2, 1, 0, 2, 1, 0, 1, 2, 0, 1, 2}, // constraints
 		{0, 1, 0, 8, 2, 200, 1}, // likely infeasible EQ
 	}
-	for i, data := range corpus {
+}
+
+// TestOracleFuzzCorpusDifferential replays the FuzzSolve seed corpus
+// through the parallel-vs-sequential differential oracle.
+func TestOracleFuzzCorpusDifferential(t *testing.T) {
+	for i, data := range fuzzCorpus() {
 		m, obj, n := decodeModel(data)
 		if m.Check() != nil {
 			continue

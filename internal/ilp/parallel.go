@@ -101,18 +101,30 @@ func gapWindow(relGap, v float64) float64 {
 // counts, GOMAXPROCS settings and repeated runs (wall-clock deadlines
 // excepted: a deadline that fires mid-search cuts it at a
 // timing-dependent point, as in the sequential solver).
+//
+// All working memory comes from the solve's arena: worker w owns slot w
+// exclusively while running (slot 0 doubles as the main goroutine's
+// scratch, which is disjoint in time — the main goroutine blocks in
+// wg.Wait). Node bound vectors migrate between slot pools with their
+// nodes but are only ever touched by the goroutine holding the node.
 func (m *Model) solveParallel(opts Options) *Solution {
 	if err := m.Check(); err != nil {
 		return &Solution{Status: Invalid}
 	}
-	m.prepare()
+	arena := opts.Arena
+	if arena == nil {
+		arena = NewSolverArena()
+	}
+	arena.ensure(1)
+	sc0 := arena.slot(0)
+	p := m.preparedFor(opts, arena)
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = defaultMaxNodes
 	}
 	lo, hi, hasInt := m.rootBounds()
 
-	root := solveLP(m, lo, hi, opts.Deadline, opts.Clock)
+	root := solveLP(m, p, lo, hi, opts.Deadline, opts.Clock, &sc0.lp)
 	if root.status == statusDeadline {
 		return &Solution{Status: NoSolution, Nodes: 1, DeadlineHit: true}
 	}
@@ -122,11 +134,13 @@ func (m *Model) solveParallel(opts Options) *Solution {
 	if !hasInt || m.integral(root.x) {
 		return &Solution{Status: Optimal, Objective: root.obj, values: m.snap(root.x), Nodes: 1}
 	}
+	rootObj := root.obj
 
 	incumbent := m.worst()
 	var incumbentX []float64
-	if obj, x, ok := m.warmIncumbent(opts, lo, hi); ok {
-		incumbent, incumbentX = obj, x
+	warmUsed := false
+	if obj, x, ok := m.warmIncumbent(opts, p, lo, hi, &sc0.lp); ok {
+		incumbent, incumbentX, warmUsed = obj, x, true
 	}
 
 	// Phase 2: deterministic depth-first frontier expansion — the
@@ -135,7 +149,10 @@ func (m *Model) solveParallel(opts Options) *Solution {
 	// down improve the incumbent exactly as in the sequential solver, so
 	// a deadline firing this early degrades identically to it.
 	nodes := 1 // the root LP
-	queue := []bbNode{{lo: lo, hi: hi, bound: root.obj, depth: 0}}
+	sc0.pool.reset(len(m.vars))
+	var branched []Var
+	branchSeen := make([]bool, len(m.vars))
+	queue := []bbNode{{lo: lo, hi: hi, bound: rootObj, depth: 0}}
 	deadlineHit := false
 	for len(queue) > 0 && len(queue) < frontierTarget {
 		if nodes >= maxNodes {
@@ -149,42 +166,57 @@ func (m *Model) solveParallel(opts Options) *Solution {
 		nd := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if incumbentX != nil && m.better(m.pruneFloor(opts.RelGap, incumbent), nd.bound) {
+			sc0.pool.release(nd)
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
+		res := solveLP(m, p, nd.lo, nd.hi, opts.Deadline, opts.Clock, &sc0.lp)
 		nodes++
 		if res.status == statusDeadline {
 			deadlineHit = true
 			break
 		}
 		if res.status != Optimal {
+			sc0.pool.release(nd)
 			continue
 		}
 		if incumbentX != nil && !m.better(res.obj, incumbent) {
+			sc0.pool.release(nd)
 			continue
 		}
-		branchVar := m.branchVariable(res.x)
+		branchVar := m.branchVariable(res.x, opts.BranchPriority)
 		if branchVar < 0 {
 			if incumbentX == nil || m.better(res.obj, incumbent) {
 				incumbent = res.obj
 				incumbentX = m.snap(res.x)
 			}
+			sc0.pool.release(nd)
 			continue
 		}
-		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
+		if !branchSeen[branchVar] && len(branched) < maxBranchedRecord {
+			branchSeen[branchVar] = true
+			branched = append(branched, Var(branchVar))
+		}
+		first, second := branch(&sc0.pool, nd, branchVar, res.x[branchVar], res.obj)
+		sc0.pool.release(nd)
 		// LIFO: the promising child is popped next, so phase 2 is the
 		// sequential DFS verbatim and the frontier is the dive path's
 		// open siblings.
 		queue = append(queue, second, first)
 	}
 
+	finish := func(obj float64, x []float64, nodes int, deadlineHit, open bool) *Solution {
+		sol := m.finish(obj, x, nodes, deadlineHit, open)
+		sol.WarmUsed = warmUsed && sol.values != nil
+		sol.Branched = branched
+		return sol
+	}
 	if len(queue) == 0 || deadlineHit {
-		return m.finish(incumbent, incumbentX, nodes, deadlineHit, len(queue) > 0)
+		return finish(incumbent, incumbentX, nodes, deadlineHit, len(queue) > 0)
 	}
 	// Reserve at least one node per subtree; otherwise the budget is
 	// already exhausted and the frontier counts as unexplored work.
 	if maxNodes-nodes < len(queue) {
-		return m.finish(incumbent, incumbentX, nodes, true, true)
+		return finish(incumbent, incumbentX, nodes, true, true)
 	}
 
 	// Phase 3: fan the frontier out to the worker pool.
@@ -195,6 +227,7 @@ func (m *Model) solveParallel(opts Options) *Solution {
 	if workers > len(queue) {
 		workers = len(queue)
 	}
+	arena.ensure(workers)
 	budgetPer := (maxNodes - nodes) / len(queue)
 	shared := &incumbentBound{}
 	shared.store(incumbent)
@@ -204,8 +237,9 @@ func (m *Model) solveParallel(opts Options) *Solution {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot *solveScratch) {
 			defer wg.Done()
+			slot.pool.reset(len(m.vars))
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(results) {
@@ -215,9 +249,9 @@ func (m *Model) solveParallel(opts Options) *Solution {
 				// where sequential DFS would resume, so a deadline cuts
 				// the least promising subtrees, not the most.
 				idx := len(results) - 1 - i
-				results[idx] = m.exploreSubtree(queue[idx], opts, budgetPer, incumbent, shared, &stats)
+				results[idx] = m.exploreSubtree(queue[idx], opts, p, slot, budgetPer, incumbent, shared, &stats)
 			}
-		}()
+		}(arena.slot(w))
 	}
 	wg.Wait()
 
@@ -237,7 +271,7 @@ func (m *Model) solveParallel(opts Options) *Solution {
 			bestObj, bestX = r.obj, r.x
 		}
 	}
-	return m.finish(bestObj, bestX, nodes, cut, cut)
+	return finish(bestObj, bestX, nodes, cut, cut)
 }
 
 // copysignWindow orients a non-negative pruning window along the model
@@ -271,7 +305,7 @@ func (m *Model) pruneFloor(relGap, v float64) float64 {
 // worse than the FINAL best solution — so the set of solutions at or
 // above the final floor that this subtree finds is identical in every
 // run, regardless of when other workers publish.
-func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedInc float64, shared *incumbentBound, stats *SolveStats) subtreeResult {
+func (m *Model) exploreSubtree(rootNd bbNode, opts Options, p *prepared, slot *solveScratch, maxNodes int, seedInc float64, shared *incumbentBound, stats *SolveStats) subtreeResult {
 	incumbent := seedInc
 	haveSeed := !math.IsInf(seedInc, 0)
 	var incumbentX []float64
@@ -297,13 +331,15 @@ func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedIn
 		// and a node containing a final-best tie has bound >= finalBest >
 		// pruneFloor(finalBest), so it survives in every run.
 		if (haveSeed || incumbentX != nil) && m.better(m.pruneFloor(opts.RelGap, incumbent), nd.bound) {
+			slot.pool.release(nd)
 			continue
 		}
 		if sv := shared.load(); !math.IsInf(sv, 0) && m.better(m.pruneFloor(opts.RelGap, sv), nd.bound) {
 			stats.SharedPrunes.Add(1)
+			slot.pool.release(nd)
 			continue
 		}
-		res := solveLP(m, nd.lo, nd.hi, opts.Deadline, opts.Clock)
+		res := solveLP(m, p, nd.lo, nd.hi, opts.Deadline, opts.Clock, &slot.lp)
 		nodes++
 		stats.LPSolves.Add(1)
 		if res.status == statusDeadline {
@@ -311,12 +347,14 @@ func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedIn
 			break
 		}
 		if res.status != Optimal {
+			slot.pool.release(nd)
 			continue
 		}
 		if (haveSeed || incumbentX != nil) && !m.better(res.obj, incumbent) {
+			slot.pool.release(nd)
 			continue
 		}
-		branchVar := m.branchVariable(res.x)
+		branchVar := m.branchVariable(res.x, opts.BranchPriority)
 		if branchVar < 0 {
 			if !haveSeed && incumbentX == nil || m.better(res.obj, incumbent) {
 				incumbent = res.obj
@@ -324,9 +362,11 @@ func (m *Model) exploreSubtree(rootNd bbNode, opts Options, maxNodes int, seedIn
 				shared.improve(m, incumbent)
 				stats.IncumbentUpdates.Add(1)
 			}
+			slot.pool.release(nd)
 			continue
 		}
-		first, second := branch(nd, branchVar, res.x[branchVar], res.obj)
+		first, second := branch(&slot.pool, nd, branchVar, res.x[branchVar], res.obj)
+		slot.pool.release(nd)
 		stack = append(stack, second, first)
 	}
 	if len(stack) > 0 {

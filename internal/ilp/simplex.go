@@ -28,7 +28,10 @@ const deadlineCheckEvery = 32
 type lpResult struct {
 	status Status // Optimal, Infeasible, Unbounded or statusDeadline
 	obj    float64
-	x      []float64 // values in original model-variable space
+	// x holds the values in original model-variable space. It aliases the
+	// scratch's extraction buffer: the caller owns it only until its next
+	// solveLP call on the same scratch, and must snap() anything retained.
+	x []float64
 }
 
 // stdVar describes how one standard-form variable maps back to a model
@@ -44,9 +47,21 @@ type stdVar struct {
 // Integrality is ignored. A non-zero deadline is enforced inside both
 // phases' pivot loops (not only between branch-and-bound nodes), so a
 // degenerate LP cannot blow the budget before the search even starts.
-func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Time) lpResult {
+//
+// p is the CSR constraint matrix (nil builds a throwaway copy) and sc the
+// reusable scratch all working memory is drawn from (nil allocates a
+// private one). Every scratch element read is written first within this
+// call, so a scratch full of garbage — see SolverArena.Poison — cannot
+// perturb the result.
+func solveLP(m *Model, p *prepared, lo, hi []float64, deadline time.Time, clk func() time.Time, sc *lpScratch) lpResult {
 	if clk == nil {
 		clk = time.Now
+	}
+	if sc == nil {
+		sc = &lpScratch{}
+	}
+	if p == nil {
+		p = buildPrepared(m)
 	}
 	n := len(m.vars)
 	for j := 0; j < n; j++ {
@@ -58,16 +73,11 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 	// Standard-form variable construction. Each model variable becomes one
 	// (or, if free, two) non-negative std variables plus, when its range
 	// width is finite and positive, an upper-bound row.
-	var svars []stdVar
-	// colOf[j] = std column(s) of model var j: primary column; for free
-	// vars, the negative part is the next column.
-	colOf := make([]int, n)
-	type ubRow struct {
-		col   int
-		width float64
-	}
-	var ubRows []ubRow
-	fixed := make([]float64, n) // value for width-0 vars, NaN otherwise
+	svars := sc.svars[:0]
+	ubCol, ubWide := sc.ubCol[:0], sc.ubWide[:0]
+	colOf := growInt(sc.colOf, n)
+	fixed := growF64(sc.fixed, n) // value for width-0 vars, NaN otherwise
+	sc.colOf, sc.fixed = colOf, fixed
 	for j := range fixed {
 		fixed[j] = math.NaN()
 	}
@@ -91,30 +101,29 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 			colOf[j] = len(svars)
 			svars = append(svars, stdVar{model: j, shift: ljo, sign: 1})
 			if !math.IsInf(hjo, 1) {
-				ubRows = append(ubRows, ubRow{col: len(svars) - 1, width: hjo - ljo})
+				ubCol = append(ubCol, len(svars)-1)
+				ubWide = append(ubWide, hjo-ljo)
 			}
 		}
 	}
+	sc.svars, sc.ubCol, sc.ubWide = svars, ubCol, ubWide
 
-	// Assemble rows: coefficients over std columns, relation, rhs.
-	type row struct {
-		a   []float64
-		rel int // -1: <=, 0: ==, +1: >=
-		b   float64
-	}
-	var rows []row
+	// Assemble rows — coefficients flat in sc.rowA (stride nStructural)
+	// with relation/rhs in parallel arrays. Each row is staged in conRow
+	// and copied in whole, so sc.rowA growth can never dangle a live row.
 	nStructural := len(svars)
-	newRow := func() []float64 { return make([]float64, nStructural) }
-	// Constraint rows come from the CSR cache: branch-and-bound solves
-	// thousands of relaxations of the same matrix, and the workers share
-	// the prepared form read-only. A model solved without prepare() (direct
-	// LP tests) builds a local throwaway copy to stay race-free.
-	p := m.prep
-	if p == nil {
-		p = buildPrepared(m)
+	sc.rowA = sc.rowA[:0]
+	rowRel := sc.rowRel[:0]
+	rowB := sc.rowB[:0]
+	conRow := growF64(sc.conRow, nStructural)
+	sc.conRow = conRow
+	appendRow := func(rel int8, b float64) {
+		sc.rowA = append(sc.rowA, conRow...)
+		rowRel = append(rowRel, rel)
+		rowB = append(rowB, b)
 	}
 	for ci := 0; ci < len(p.conLo); ci++ {
-		a := newRow()
+		clearF64(conRow)
 		shiftSum := 0.0
 		for k := p.rowStart[ci]; k < p.rowStart[ci+1]; k++ {
 			j := p.cols[k]
@@ -126,35 +135,38 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 			c0 := colOf[j]
 			sv := svars[c0]
 			shiftSum += coeff * sv.shift
-			a[c0] += coeff * sv.sign
+			conRow[c0] += coeff * sv.sign
 			if sv.sign == 1 && c0+1 < len(svars) && svars[c0+1].model == j && svars[c0+1].sign == -1 {
-				a[c0+1] += -coeff
+				conRow[c0+1] += -coeff
 			}
 		}
 		loC, hiC := p.conLo[ci]-shiftSum, p.conHi[ci]-shiftSum
 		switch {
 		case p.conLo[ci] == p.conHi[ci]:
-			rows = append(rows, row{a: a, rel: 0, b: loC})
+			appendRow(0, loC)
 		default:
 			if !math.IsInf(hiC, 1) {
-				rows = append(rows, row{a: a, rel: -1, b: hiC})
+				appendRow(-1, hiC)
 			}
 			if !math.IsInf(loC, -1) {
-				ac := append([]float64(nil), a...)
-				rows = append(rows, row{a: ac, rel: 1, b: loC})
+				appendRow(1, loC)
 			}
 		}
 	}
-	for _, ub := range ubRows {
-		a := newRow()
-		a[ub.col] = 1
-		rows = append(rows, row{a: a, rel: -1, b: ub.width})
+	clearF64(conRow)
+	for i, col := range ubCol {
+		conRow[col] = 1
+		appendRow(-1, ubWide[i])
+		conRow[col] = 0
 	}
+	sc.rowRel, sc.rowB = rowRel, rowB
+	rowAt := func(i int) []float64 { return sc.rowA[i*nStructural : (i+1)*nStructural] }
 
-	mRows := len(rows)
+	mRows := len(rowRel)
 	if mRows == 0 {
 		// Bound-only problem: optimum at a bound per objective sign.
-		x := make([]float64, n)
+		x := growF64(sc.x, n)
+		sc.x = x
 		obj := 0.0
 		for j := 0; j < n; j++ {
 			c := m.vars[j].obj
@@ -184,38 +196,44 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 	// Tableau columns: structural | slacks | artificials | rhs.
 	// Count slacks (one per inequality) and artificials.
 	nSlack := 0
-	for _, r := range rows {
-		if r.rel != 0 {
+	for i := 0; i < mRows; i++ {
+		if rowRel[i] != 0 {
 			nSlack++
 		}
 	}
 	// Normalise rhs to be >= 0 first, flipping rows.
-	for i := range rows {
-		if rows[i].b < 0 {
-			for k := range rows[i].a {
-				rows[i].a[k] = -rows[i].a[k]
+	for i := 0; i < mRows; i++ {
+		if rowB[i] < 0 {
+			r := rowAt(i)
+			for k := range r {
+				r[k] = -r[k]
 			}
-			rows[i].b = -rows[i].b
-			rows[i].rel = -rows[i].rel
+			rowB[i] = -rowB[i]
+			rowRel[i] = -rowRel[i]
 		}
 	}
 	// A row with <= and b>=0 gets a slack usable as initial basis; >= rows
 	// get a surplus plus an artificial; == rows get an artificial.
 	nArt := 0
-	for _, r := range rows {
-		if r.rel >= 0 {
+	for i := 0; i < mRows; i++ {
+		if rowRel[i] >= 0 {
 			nArt++
 		}
 	}
 	totalCols := nStructural + nSlack + nArt
-	tab := make([][]float64, mRows)
-	basis := make([]int, mRows)
+	stride := totalCols + 1
+	tabF := growF64(sc.tabF, mRows*stride)
+	sc.tabF = tabF
+	clearF64(tabF)
+	tab := sc.tab[:0]
+	basis := growInt(sc.basis, mRows)
+	sc.basis = basis
 	slackAt, artAt := nStructural, nStructural+nSlack
-	for i, r := range rows {
-		tr := make([]float64, totalCols+1)
-		copy(tr, r.a)
-		tr[totalCols] = r.b
-		switch r.rel {
+	for i := 0; i < mRows; i++ {
+		tr := tabF[i*stride : (i+1)*stride : (i+1)*stride]
+		copy(tr, rowAt(i))
+		tr[totalCols] = rowB[i]
+		switch rowRel[i] {
 		case -1:
 			tr[slackAt] = 1
 			basis[i] = slackAt
@@ -231,12 +249,16 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 			basis[i] = artAt
 			artAt++
 		}
-		tab[i] = tr
+		tab = append(tab, tr)
 	}
+	sc.tab = tab
+
+	cost := growF64(sc.cost, stride)
+	sc.cost = cost
 
 	// Phase 1: minimise the sum of artificials.
 	if nArt > 0 {
-		cost := make([]float64, totalCols+1)
+		clearF64(cost)
 		for c := nStructural + nSlack; c < totalCols; c++ {
 			cost[c] = 1
 		}
@@ -283,7 +305,7 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 	}
 
 	// Phase 2: minimise the real objective over structural columns.
-	cost := make([]float64, totalCols+1)
+	clearF64(cost)
 	objShift := 0.0
 	for j := 0; j < n; j++ {
 		c := m.vars[j].obj
@@ -323,13 +345,16 @@ func solveLP(m *Model, lo, hi []float64, deadline time.Time, clk func() time.Tim
 	}
 
 	// Extract std values, then map back to model space.
-	stdVal := make([]float64, totalCols)
+	stdVal := growF64(sc.stdVal, totalCols)
+	sc.stdVal = stdVal
+	clearF64(stdVal)
 	for i, b := range basis {
 		if b >= 0 && b < totalCols {
 			stdVal[b] = tab[i][totalCols]
 		}
 	}
-	x := make([]float64, n)
+	x := growF64(sc.x, n)
+	sc.x = x
 	for j := 0; j < n; j++ {
 		if colOf[j] < 0 {
 			x[j] = fixed[j]

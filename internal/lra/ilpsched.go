@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"medea/internal/cluster"
 	"medea/internal/constraint"
@@ -38,13 +40,92 @@ import (
 type ilpScheduler struct {
 	// fallback handles deadline exhaustion without an incumbent.
 	fallback Algorithm
+
+	// mu guards the arena free list and the cross-cycle memory map. Place
+	// runs concurrently for constraint-independent sub-batches, but their
+	// application sets are disjoint, so individual appMemory entries are
+	// never contended — the lock only protects map and slice structure.
+	mu     sync.Mutex
+	arenas []*ilp.SolverArena
+	memory map[string]*appMemory
+}
+
+// appMemory is the cross-cycle solver memory of one application: the
+// last solve's placement (as per-group node counts) and the top of its
+// branch-and-bound tree, replayed into the next cycle's solve as a warm
+// start and branch priority. A requeued application re-solves a
+// near-identical model, so the replay usually seeds the incumbent
+// immediately and re-walks yesterday's tree first.
+type appMemory struct {
+	placed   bool
+	counts   map[string]map[cluster.NodeID]int // group name -> node -> count
+	branched []string                          // semantic names (semSName/semYName)
+	age      int                               // cycles since last refreshed
+}
+
+// memoryMaxAge is how many cycles an unrefreshed memory entry survives
+// before BeginCycle prunes it: stale placements on a drifted cluster
+// only waste warm-start LP evaluations.
+const memoryMaxAge = 8
+
+// memoryMaxBranched caps the branch-order names remembered per
+// application; replay only needs the top of the tree.
+const memoryMaxBranched = 16
+
+// semSName and semYName build cycle-independent variable names. Model
+// variable indices shift between cycles as batch composition changes;
+// semantic names — "S/<appID>" and "Y/<appID>/<group>/<node>" — do not,
+// so memory recorded against one cycle's model maps onto the next one's.
+func semSName(appID string) string { return "S/" + appID }
+
+func semYName(appID, group string, n cluster.NodeID) string {
+	return "Y/" + appID + "/" + group + "/" + strconv.FormatInt(int64(n), 10)
 }
 
 // debugILP enables solver diagnostics on stdout (set via MEDEA_DEBUG_ILP).
 var debugILP = os.Getenv("MEDEA_DEBUG_ILP") != ""
 
 // NewILP returns the Medea-ILP algorithm.
-func NewILP() Algorithm { return &ilpScheduler{fallback: newBestOfGreedy()} }
+func NewILP() Algorithm {
+	return &ilpScheduler{fallback: newBestOfGreedy(), memory: map[string]*appMemory{}}
+}
+
+// BeginCycle implements CycleAware: age the cross-cycle memory and prune
+// entries untouched for memoryMaxAge cycles. Core invokes it once per
+// scheduling cycle before any Place call, so the memory's evolution is a
+// deterministic function of the cycle sequence.
+func (s *ilpScheduler) BeginCycle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, mem := range s.memory {
+		mem.age++
+		if mem.age > memoryMaxAge {
+			delete(s.memory, id)
+		}
+	}
+}
+
+// checkoutArena pops a reusable solver arena, growing the pool on first
+// use. Which physical arena serves which solve is irrelevant: every
+// buffer handed out is fully re-initialised before it is read (the
+// poisoned-arena differential suite proves it), so arena identity can
+// never perturb a solution.
+func (s *ilpScheduler) checkoutArena() *ilp.SolverArena {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.arenas); n > 0 {
+		a := s.arenas[n-1]
+		s.arenas = s.arenas[:n-1]
+		return a
+	}
+	return ilp.NewSolverArena()
+}
+
+func (s *ilpScheduler) returnArena(a *ilp.SolverArena) {
+	s.mu.Lock()
+	s.arenas = append(s.arenas, a)
+	s.mu.Unlock()
+}
 
 // Name implements Algorithm.
 func (s *ilpScheduler) Name() string { return "Medea-ILP" }
@@ -75,6 +156,21 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 	}
 	cons := flattenConstraints(apps, active)
 	w := opts.weights()
+
+	// Snapshot the batch apps' cross-cycle memory. Entries are only ever
+	// read and written by the sub-batch owning their application, so the
+	// pointers stay safe to use outside the lock.
+	var mems map[string]*appMemory
+	if !opts.DisableCycleWarm {
+		s.mu.Lock()
+		mems = make(map[string]*appMemory, len(apps))
+		for _, app := range apps {
+			if mem := s.memory[app.ID]; mem != nil {
+				mems[app.ID] = mem
+			}
+		}
+		s.mu.Unlock()
+	}
 
 	var groups []mgroup
 	for ai, app := range apps {
@@ -186,6 +282,23 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 				continue
 			}
 			Y[gi][n] = m.Int(fmt.Sprintf("Y_%d_%d", gi, n), 0, float64(ub))
+		}
+	}
+
+	// Semantic variable names, both directions: varOf maps a remembered
+	// name onto this cycle's model, semOf/ownerOf translate this cycle's
+	// branch record back into names for the next one.
+	varOf := make(map[string]ilp.Var, len(apps)+4*len(groups))
+	semOf := make(map[ilp.Var]string, len(apps)+4*len(groups))
+	ownerOf := make(map[ilp.Var]int, len(apps)+4*len(groups))
+	for ai, app := range apps {
+		name := semSName(app.ID)
+		varOf[name], semOf[S[ai]], ownerOf[S[ai]] = S[ai], name, ai
+	}
+	for gi, g := range groups {
+		for n, v := range Y[gi] {
+			name := semYName(apps[g.appIdx].ID, g.name, n)
+			varOf[name], semOf[v], ownerOf[v] = v, name, g.appIdx
 		}
 	}
 
@@ -485,6 +598,79 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		}
 	}
 
+	// Cross-cycle warm start: replay each remembered application's last
+	// placement as a second incumbent candidate next to the greedy one,
+	// and its recorded branch order as the branching priority. Apps whose
+	// remembered nodes are no longer candidates (or whose counts no
+	// longer add up to the gang size) are marked unplaced in the replay —
+	// the candidate stays well-formed and the solver simply re-derives
+	// their placement. An infeasible replay (cluster drifted) is rejected
+	// by the solver's warm evaluation, never committed.
+	var cycleWarm map[ilp.Var]float64
+	var branchPrio []ilp.Var
+	if len(mems) > 0 {
+		usable := make([]bool, len(apps))
+		for ai, app := range apps {
+			mem := mems[app.ID]
+			usable[ai] = mem != nil && mem.placed
+		}
+		for gi, g := range groups {
+			if !usable[g.appIdx] {
+				continue
+			}
+			total := 0
+			for n, c := range mems[apps[g.appIdx].ID].counts[g.name] {
+				if _, ok := Y[gi][n]; !ok && c > 0 {
+					usable[g.appIdx] = false
+					break
+				}
+				total += c
+			}
+			if total != g.count {
+				usable[g.appIdx] = false
+			}
+		}
+		cycleWarm = make(map[ilp.Var]float64, len(warm))
+		for ai := range apps {
+			cycleWarm[S[ai]] = float64(b2f(usable[ai]))
+		}
+		memCount := func(gi int, n cluster.NodeID) int {
+			g := groups[gi]
+			if !usable[g.appIdx] {
+				return 0
+			}
+			return mems[apps[g.appIdx].ID].counts[g.name][n]
+		}
+		for gi := range groups {
+			for n, v := range Y[gi] {
+				cycleWarm[v] = float64(memCount(gi, n))
+			}
+		}
+		for k, v := range activations {
+			sum := 0
+			for _, n := range state.SetMembers(k.group, k.set) {
+				sum += memCount(k.gi, n)
+			}
+			cycleWarm[v] = float64(b2f(sum > 0))
+		}
+		for key, u := range termSel {
+			cycleWarm[u] = float64(b2f(key[1] == 0))
+		}
+		// Branch priority: the remembered branch orders, app by app in
+		// submission order. Names that no longer resolve are dropped.
+		for _, app := range apps {
+			mem := mems[app.ID]
+			if mem == nil {
+				continue
+			}
+			for _, name := range mem.branched {
+				if v, ok := varOf[name]; ok {
+					branchPrio = append(branchPrio, v)
+				}
+			}
+		}
+	}
+
 	// A defective constraint set can produce a malformed model (inverted
 	// bounds, dangling variables). Check before solving and degrade to the
 	// greedy placement instead of crashing the scheduler.
@@ -497,13 +683,34 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		return fb
 	}
 
-	sol := m.Solve(ilp.Options{
-		Deadline:  start.Add(opts.solverBudget()),
-		RelGap:    0.01,
-		WarmStart: warm,
-		Workers:   opts.Workers,
-		Clock:     opts.Clock,
-	})
+	arena := s.checkoutArena()
+	defer s.returnArena(arena)
+	solveOpts := ilp.Options{
+		Deadline:       start.Add(opts.solverBudget()),
+		RelGap:         0.01,
+		WarmStart:      warm,
+		BranchPriority: branchPrio,
+		Workers:        opts.Workers,
+		Clock:          opts.Clock,
+		Arena:          arena,
+		Mode:           opts.SolverMode,
+	}
+	if cycleWarm != nil {
+		solveOpts.WarmStarts = []map[ilp.Var]float64{cycleWarm}
+	}
+	sol := m.Solve(solveOpts)
+	// recordSolve stamps the outcome's solve-path counters: which path
+	// ran and whether a warm start seeded the incumbent.
+	recordSolve := func(r *Result) {
+		if sol.Approximate {
+			r.ApproxSolves++
+		} else {
+			r.ExactSolves++
+		}
+		if sol.WarmUsed {
+			r.WarmStarts++
+		}
+	}
 	if debugILP {
 		warmObj := 0.0
 		if warm != nil {
@@ -521,6 +728,10 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 		fb.DeadlineHit = sol.DeadlineHit
 		fb.Exhausted = sol.DeadlineHit
 		fb.Invalid = sol.Status == ilp.Invalid
+		recordSolve(fb)
+		if !opts.DisableCycleWarm {
+			s.recordMemory(apps, fb, sol, semOf, ownerOf)
+		}
 		return fb
 	}
 
@@ -583,14 +794,62 @@ func (s *ilpScheduler) Place(state *cluster.Cluster, apps []*Application, active
 	// whichever placement evaluates better closes that gap and makes
 	// Medea-ILP never worse than its own heuristics (§5.3).
 	picker := bestOf{}
+	final := res
 	if picker.score(state, apps, active, fb) >= picker.score(state, apps, active, res) {
-		fb.Latency = clk().Sub(start)
-		fb.DeadlineHit = sol.DeadlineHit
-		return fb
+		final = fb
 	}
-	res.Latency = clk().Sub(start)
-	res.DeadlineHit = sol.DeadlineHit
-	return res
+	final.Latency = clk().Sub(start)
+	final.DeadlineHit = sol.DeadlineHit
+	recordSolve(final)
+	if !opts.DisableCycleWarm {
+		// Remember what actually committed: the chosen result's placement
+		// plus the solve's branch order, keyed by application.
+		s.recordMemory(apps, final, sol, semOf, ownerOf)
+	}
+	return final
+}
+
+// recordMemory refreshes the cross-cycle memory from one finished solve:
+// each batch application's placement (as per-group node counts) and its
+// share of the recorded branch order, in semantic names that survive
+// model re-numbering. Applications in concurrent sub-batches are
+// disjoint, so entries are never written by two solves at once.
+func (s *ilpScheduler) recordMemory(apps []*Application, final *Result, sol *ilp.Solution, semOf map[ilp.Var]string, ownerOf map[ilp.Var]int) {
+	branchedOf := make(map[string][]string)
+	for _, v := range sol.Branched {
+		name, ok := semOf[v]
+		if !ok {
+			continue // activation/DNF binaries: batch-local, not replayable
+		}
+		id := apps[ownerOf[v]].ID
+		if len(branchedOf[id]) < memoryMaxBranched {
+			branchedOf[id] = append(branchedOf[id], name)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.memory == nil {
+		s.memory = map[string]*appMemory{}
+	}
+	for ai, app := range apps {
+		if ai >= len(final.Placements) {
+			break
+		}
+		p := final.Placements[ai]
+		mem := &appMemory{placed: p.Placed, branched: branchedOf[app.ID]}
+		if len(p.Assignments) > 0 {
+			mem.counts = make(map[string]map[cluster.NodeID]int)
+			for _, asg := range p.Assignments {
+				c := mem.counts[asg.Group]
+				if c == nil {
+					c = map[cluster.NodeID]int{}
+					mem.counts[asg.Group] = c
+				}
+				c[asg.Node]++
+			}
+		}
+		s.memory[app.ID] = mem
+	}
 }
 
 // setMembersIn returns the members of a node set that have a Y variable

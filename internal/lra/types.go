@@ -11,6 +11,7 @@ import (
 
 	"medea/internal/cluster"
 	"medea/internal/constraint"
+	"medea/internal/ilp"
 	"medea/internal/resource"
 )
 
@@ -113,6 +114,15 @@ type Result struct {
 	// defective constraint set); like Exhausted, the placements come from
 	// the heuristic fallback and the breaker counts a failure.
 	Invalid bool
+	// ExactSolves and ApproxSolves count the ILP solves this invocation
+	// ran down each path (exact branch-and-bound vs. the LP-rounding fast
+	// path). Heuristic algorithms leave them zero.
+	ExactSolves  int
+	ApproxSolves int
+	// WarmStarts counts solves whose initial incumbent came from an
+	// accepted warm start (the greedy heuristic's placement or the
+	// cross-cycle memory).
+	WarmStarts int
 }
 
 // PlacedApps returns the number of fully placed applications.
@@ -165,6 +175,15 @@ type Options struct {
 	// deadline (nil = time.Now). Deterministic harnesses inject a virtual
 	// clock so placement outcomes never depend on the wall clock.
 	Clock func() time.Time
+	// SolverMode selects the ILP solving path: exact branch-and-bound
+	// (the zero value), the LP-relaxation + randomized-rounding fast
+	// path, or automatic per-instance selection. Heuristic algorithms
+	// ignore it.
+	SolverMode ilp.Mode
+	// DisableCycleWarm turns off the ILP scheduler's cross-cycle memory:
+	// the previous cycle's placements and branch order are then neither
+	// recorded nor replayed as warm starts into later solves.
+	DisableCycleWarm bool
 }
 
 // clock returns the configured time source, defaulting to the wall clock.
@@ -211,6 +230,16 @@ func (o Options) solverBudget() time.Duration {
 type Algorithm interface {
 	Name() string
 	Place(state *cluster.Cluster, apps []*Application, active []constraint.Entry, opts Options) *Result
+}
+
+// CycleAware is optionally implemented by algorithms that keep
+// cross-cycle state — the ILP scheduler's warm-start memory. Core calls
+// BeginCycle exactly once per scheduling cycle, on the cycle's main
+// goroutine before any Place call of that cycle, so aging and pruning of
+// that state is a deterministic function of the cycle count, never of
+// wall time or goroutine interleavings.
+type CycleAware interface {
+	BeginCycle()
 }
 
 // SequentialPlacer is optionally implemented by algorithms whose Place

@@ -46,6 +46,9 @@ type PipelineStats struct {
 	invalidModels       atomic.Int64
 	invariantViolations atomic.Int64
 	degradedCycles      atomic.Int64
+	exactSolves         atomic.Int64
+	approxSolves        atomic.Int64
+	warmStarts          atomic.Int64
 	breakerTrips        atomic.Int64
 	breakerReopens      atomic.Int64
 	breakerResets       atomic.Int64
@@ -97,6 +100,17 @@ func (p *PipelineStats) AddInvalidModel() { p.invalidModels.Add(1) }
 // than the configured one.
 func (p *PipelineStats) AddDegradedCycle() { p.degradedCycles.Add(1) }
 
+// AddExactSolves counts ILP solves that ran the exact branch-and-bound
+// path.
+func (p *PipelineStats) AddExactSolves(n int) { p.exactSolves.Add(int64(n)) }
+
+// AddApproxSolves counts ILP solves that ran the LP-rounding fast path.
+func (p *PipelineStats) AddApproxSolves(n int) { p.approxSolves.Add(int64(n)) }
+
+// AddWarmStarts counts ILP solves whose incumbent was seeded by an
+// accepted warm start (greedy heuristic or cross-cycle memory).
+func (p *PipelineStats) AddWarmStarts(n int) { p.warmStarts.Add(int64(n)) }
+
 // PanicsRecovered returns the recovered-panic count.
 func (p *PipelineStats) PanicsRecovered() int { return int(p.panicsRecovered.Load()) }
 
@@ -117,6 +131,15 @@ func (p *PipelineStats) InvariantViolations() int { return int(p.invariantViolat
 
 // DegradedCycles returns the count of cycles served off-ladder.
 func (p *PipelineStats) DegradedCycles() int { return int(p.degradedCycles.Load()) }
+
+// ExactSolves returns the exact-path ILP solve count.
+func (p *PipelineStats) ExactSolves() int { return int(p.exactSolves.Load()) }
+
+// ApproxSolves returns the approximate-path ILP solve count.
+func (p *PipelineStats) ApproxSolves() int { return int(p.approxSolves.Load()) }
+
+// WarmStarts returns the count of warm-started ILP solves.
+func (p *PipelineStats) WarmStarts() int { return int(p.warmStarts.Load()) }
 
 // BreakerTrips returns the closed→open transition count.
 func (p *PipelineStats) BreakerTrips() int { return int(p.breakerTrips.Load()) }
@@ -182,6 +205,9 @@ func (p *PipelineStats) Table(title string) *Table {
 	t.AddRow("invalid models", p.InvalidModels())
 	t.AddRow("invariant violations", p.InvariantViolations())
 	t.AddRow("degraded cycles", p.DegradedCycles())
+	t.AddRow("exact solves", p.ExactSolves())
+	t.AddRow("approx solves", p.ApproxSolves())
+	t.AddRow("warm-started solves", p.WarmStarts())
 	t.AddRow("breaker trips", p.BreakerTrips())
 	t.AddRow("breaker reopens", p.BreakerReopens())
 	t.AddRow("breaker resets", p.BreakerResets())
