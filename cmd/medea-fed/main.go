@@ -8,6 +8,14 @@
 // robustness contract: zero acknowledged submissions lost, failover
 // within -max-mttr, and the slow member never confirmed dead.
 //
+// A second phase then exercises the planned-operations path while fresh
+// submissions keep arriving: the killed member is restarted, one member
+// is drained (cordon plus two-phase evacuation of everything it holds),
+// and finally the whole fleet is rolled one member at a time. The gate
+// extends to: the drain and the rolling restart complete, every member
+// is alive afterwards, and the two-phase migration p99 stays under
+// -max-mig-p99.
+//
 // Usage:
 //
 //	medea-fed [-members N] [-jobs N] [-overload F] [-out BENCH_fed.json] [-gate]
@@ -58,6 +66,14 @@ type fedReport struct {
 	DegradedQueued    int `json:"degraded_queued"`
 	DegradedRecovered int `json:"degraded_recovered"`
 
+	DrainedMember       string  `json:"drained_member"`
+	DrainSeconds        float64 `json:"drain_seconds"`
+	RollingSeconds      float64 `json:"rolling_seconds"`
+	MembersAliveAfter   int     `json:"members_alive_after"`
+	MigrationsCompleted int     `json:"migrations_completed"`
+	MigrationsAborted   int     `json:"migrations_aborted"`
+	MigrationP99Ms      float64 `json:"migration_p99_ms"`
+
 	AuditPlaced   int      `json:"audit_placed"`
 	AuditDegraded int      `json:"audit_degraded"`
 	AuditRejected int      `json:"audit_rejected"`
@@ -77,6 +93,7 @@ func main() {
 	gate := flag.Bool("gate", false, "fail unless zero loss, MTTR and detector guarantees held")
 	maxP99 := flag.Duration("maxp99", 250*time.Millisecond, "gate: max p99 routing latency")
 	maxMTTR := flag.Duration("max-mttr", 5*time.Second, "gate: max kill-to-clean-audit time")
+	maxMigP99 := flag.Duration("max-mig-p99", 2*time.Second, "gate: max p99 two-phase migration duration")
 	syncEvery := flag.Int("sync-every", 0, "journal fsync policy for -journal-root members")
 	journalRoot := flag.String("journal-root", "", "file-backed member journals under this dir (default in-memory)")
 	flag.Parse()
@@ -201,9 +218,106 @@ func main() {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	// Let in-flight placements settle before the final audit.
+	// Let in-flight placements settle before the planned-operations phase.
 	time.Sleep(10 * probeEvery)
+
+	// Phase 2: planned operations under load. Revive the corpse so the
+	// fleet is whole, keep a trickle of fresh submissions arriving, then
+	// drain one member (cordon + evacuate) and roll the entire fleet.
+	if !fleet.RestartMember(killed) {
+		log.Fatalf("could not restart %s from its journal", killed)
+	}
+	time.Sleep(20 * probeEvery) // scout re-confirms it alive
+	stopLoad := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			case <-time.After(250 * time.Millisecond):
+			}
+			req := &server.SubmitRequest{
+				ID:     fmt.Sprintf("phase2-%03d", i),
+				Groups: []server.GroupSpec{{Name: "w", Count: 2, MemoryMB: 512, VCores: 1}},
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				start := time.Now()
+				_, err := fleet.Balancer.Submit(req)
+				lat := time.Since(start)
+				mu.Lock()
+				if err == nil {
+					routeMs = append(routeMs, float64(lat)/float64(time.Millisecond))
+				}
+				mu.Unlock()
+			}()
+		}
+	}()
+
+	drained := fmt.Sprintf("cluster-%d", 1%*members)
+	var drainSecs float64
+	drainStart := time.Now()
+	if err := fleet.Balancer.DrainMember(drained); err != nil {
+		log.Printf("drain %s: %v", drained, err)
+	} else {
+		for fleet.Balancer.DrainActive(drained) && time.Since(drainStart) < 30*time.Second {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !fleet.Balancer.DrainActive(drained) {
+			drainSecs = time.Since(drainStart).Seconds()
+			log.Printf("drained %s in %.2fs", drained, drainSecs)
+		} else {
+			log.Printf("drain of %s did not finish in 30s", drained)
+		}
+		fleet.Balancer.CancelDrain(drained) // lift the cordon for the roll
+	}
+
+	// Rolling restart duration scales with the deployed population (every
+	// member is evacuated in turn), so its budget is generous.
+	var rollSecs float64
+	rollStart := time.Now()
+	if fleet.StartRollingRestart() {
+		for fleet.RollingActive() && time.Since(rollStart) < 150*time.Second {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !fleet.RollingActive() {
+			rollSecs = time.Since(rollStart).Seconds()
+			log.Printf("rolling restart of %d members in %.2fs", *members, rollSecs)
+		} else {
+			log.Printf("rolling restart did not finish in 150s")
+		}
+	}
+	close(stopLoad)
+	loadWG.Wait()
+	wg.Wait()
+
+	alive := 0
+	for _, m := range fleet.Members {
+		if !m.Gate.Crashed() && fleet.Scout.State(m.ID, time.Now()) != federation.Dead {
+			alive++
+		}
+	}
+	var migMs []float64
+	for _, d := range fleet.Balancer.MigrationDurations() {
+		migMs = append(migMs, float64(d)/float64(time.Millisecond))
+	}
+
+	// Settle: poll until the audit accounts for every routed app (no one
+	// still reconciling or mid-migration), so the accounting gate judges
+	// a quiesced fleet rather than a snapshot of work in flight.
 	finalAudit := fleet.Balancer.Audit(time.Now())
+	settleDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(settleDeadline) {
+		if finalAudit.Placed+finalAudit.Degraded+finalAudit.Rejected == finalAudit.Routed {
+			break
+		}
+		time.Sleep(5 * probeEvery)
+		finalAudit = fleet.Balancer.Audit(time.Now())
+	}
 	wall := time.Since(wallStart)
 	cancel()
 
@@ -224,6 +338,15 @@ func main() {
 		FailoverReplaced:  st.FailoverReplaced(),
 		DegradedQueued:    st.DegradedQueued(),
 		DegradedRecovered: st.DegradedRecovered(),
+
+		DrainedMember:       drained,
+		DrainSeconds:        drainSecs,
+		RollingSeconds:      rollSecs,
+		MembersAliveAfter:   alive,
+		MigrationsCompleted: st.MigrationsCompleted(),
+		MigrationsAborted:   st.MigrationsAborted(),
+		MigrationP99Ms:      metrics.Percentile(migMs, 99),
+
 		AuditPlaced:       finalAudit.Placed,
 		AuditDegraded:     finalAudit.Degraded,
 		AuditRejected:     finalAudit.Rejected,
@@ -263,6 +386,17 @@ func main() {
 			"slow-but-alive member %s never confirmed dead", slow)
 		check(rep.P99RouteMs <= float64(*maxP99)/float64(time.Millisecond),
 			"p99 routing latency %.2fms <= %s", rep.P99RouteMs, *maxP99)
+		check(rep.DrainSeconds > 0,
+			"planned drain of %s completed (%.2fs)", rep.DrainedMember, rep.DrainSeconds)
+		check(rep.RollingSeconds > 0,
+			"rolling restart completed (%.2fs)", rep.RollingSeconds)
+		check(rep.MembersAliveAfter == *members,
+			"all %d members alive after the roll (alive %d)", *members, rep.MembersAliveAfter)
+		check(rep.MigrationsCompleted > 0,
+			"two-phase migrations ran (%d completed, %d aborted)",
+			rep.MigrationsCompleted, rep.MigrationsAborted)
+		check(rep.MigrationP99Ms <= float64(*maxMigP99)/float64(time.Millisecond),
+			"migration p99 %.2fms <= %s", rep.MigrationP99Ms, *maxMigP99)
 		check(rep.Routed > 0 && rep.AuditPlaced+rep.AuditDegraded+rep.AuditRejected == rep.Routed,
 			"audit accounts for every routed app (%d placed + %d degraded + %d rejected of %d)",
 			rep.AuditPlaced, rep.AuditDegraded, rep.AuditRejected, rep.Routed)

@@ -41,6 +41,14 @@ const (
 	FleetHeal
 	// FleetRestart rebuilds a crashed member from its journal.
 	FleetRestart
+	// FleetDrain cordons the member and evacuates its applications to
+	// the rest of the fleet. Requires a target that also implements
+	// DrainFleetMember(string) bool.
+	FleetDrain
+	// FleetRollingRestart drains, restarts, and re-confirms every member
+	// one at a time. Member is ignored. Requires a target that also
+	// implements StartRollingRestart() bool.
+	FleetRollingRestart
 )
 
 func (k FleetEventKind) String() string {
@@ -55,6 +63,10 @@ func (k FleetEventKind) String() string {
 		return "heal"
 	case FleetRestart:
 		return "restart"
+	case FleetDrain:
+		return "drain"
+	case FleetRollingRestart:
+		return "rolling-restart"
 	}
 	return "unknown"
 }
@@ -109,6 +121,17 @@ func (s *FleetScript) ApplyDue(t FleetTarget, elapsed time.Duration) (int, error
 			ok = t.HealMember(e.Member)
 		case FleetRestart:
 			ok = t.RestartMember(e.Member)
+		case FleetDrain:
+			// Drain and rolling restart are newer capabilities; targets
+			// opt in by implementing the extra method rather than by
+			// widening FleetTarget under every existing implementor.
+			if d, can := t.(interface{ DrainFleetMember(string) bool }); can {
+				ok = d.DrainFleetMember(e.Member)
+			}
+		case FleetRollingRestart:
+			if r, can := t.(interface{ StartRollingRestart() bool }); can {
+				ok = r.StartRollingRestart()
+			}
 		}
 		if !ok {
 			return fired, fmt.Errorf("chaos: fleet event %d (%s %s) has no target", i, e.Kind, e.Member)

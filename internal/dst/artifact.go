@@ -19,7 +19,10 @@ type Artifact struct {
 	Inject  bool  `json:"inject,omitempty"`
 	// MixedSolver must travel with the schedule: replaying EvSolverMode
 	// flips needs the members on the ILP scheduler.
-	MixedSolver bool       `json:"mixed_solver,omitempty"`
+	MixedSolver bool `json:"mixed_solver,omitempty"`
+	// Migrations must travel too: it widens the settle bound and arms
+	// drain cancellation on heal, both of which shape the trace.
+	Migrations bool       `json:"migrations,omitempty"`
 	Violation   *Violation `json:"violation"`
 	FullEvents  int        `json:"full_events"`
 	Events      []Event    `json:"events"`
@@ -37,6 +40,7 @@ func NewArtifact(cfg Config, v *Violation, minimized []Event, fullLen int) *Arti
 		Nodes:       cfg.nodes(),
 		Inject:      cfg.Inject,
 		MixedSolver: cfg.MixedSolver,
+		Migrations:  cfg.Migrations,
 		Violation:   v,
 		FullEvents:  fullLen,
 		Events:      minimized,
@@ -45,7 +49,7 @@ func NewArtifact(cfg Config, v *Violation, minimized []Event, fullLen int) *Arti
 
 // Config rebuilds the run configuration the artifact's schedule expects.
 func (a *Artifact) Config() Config {
-	return Config{Seed: a.Seed, Members: a.Members, Nodes: a.Nodes, Inject: a.Inject, MixedSolver: a.MixedSolver}
+	return Config{Seed: a.Seed, Members: a.Members, Nodes: a.Nodes, Inject: a.Inject, MixedSolver: a.MixedSolver, Migrations: a.Migrations}
 }
 
 // Replay runs the artifact's schedule and returns the result; the

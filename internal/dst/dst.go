@@ -47,6 +47,13 @@ type Config struct {
 	// gates both the algorithm choice and the extra RNG draws, so
 	// existing seeds replay byte-identically.
 	MixedSolver bool
+	// Migrations mixes the cross-cluster movement machinery into the
+	// schedule: two-phase migrations (a third of them with an armed crash
+	// point that kills the balancer or a member mid-protocol), planned
+	// member drains, and fleet-wide rolling restarts. Off by default for
+	// the same reason as MixedSolver: the flag gates every extra RNG
+	// draw, so existing seeds replay byte-identically.
+	Migrations bool
 }
 
 func (c Config) events() int {
@@ -99,6 +106,10 @@ const (
 	// VioRestartFailed: rebuilding a crashed member from its journal
 	// failed.
 	VioRestartFailed = "restart-failed"
+	// VioMigration: the two-phase migration protocol left an app in an
+	// incoherent state — reported lost mid-migration, or still mid-flight
+	// after the settle phase gave every crash recovery time to resolve.
+	VioMigration = "migration-incoherent"
 )
 
 // Violation is one invariant failure: which invariant, at which event

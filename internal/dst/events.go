@@ -53,6 +53,19 @@ const (
 	// approx) and its cross-cycle warm-start memory at runtime. Only
 	// generated under Config.MixedSolver.
 	EvSolverMode EventKind = "solvermode"
+	// EvMigrate starts a two-phase cross-cluster migration of App to
+	// Dest. MigPoint, when set, arms a crash at that protocol point:
+	// Victim "balancer" drops the response before the ledger transition
+	// (a simulated balancer crash the next Step must recover from); any
+	// other Victim kills that member process at the same instant. Only
+	// generated under Config.Migrations.
+	EvMigrate EventKind = "migrate"
+	// EvDrainMember cordons a member and evacuates its applications to
+	// the rest of the fleet. Only generated under Config.Migrations.
+	EvDrainMember EventKind = "drainmember"
+	// EvRollingRestart drains, restarts and re-confirms every member one
+	// at a time. Only generated under Config.Migrations.
+	EvRollingRestart EventKind = "rollingrestart"
 )
 
 // Event is one schedule entry. Exactly the fields its Kind needs are
@@ -84,6 +97,13 @@ type Event struct {
 	// "auto" or "approx"; warm memory off when DisableWarm).
 	SolverMode  string `json:"solver_mode,omitempty"`
 	DisableWarm bool   `json:"disable_warm,omitempty"`
+
+	// Dest / MigPoint / Victim carry an EvMigrate: the destination
+	// member, the armed crash point ("" = clean migration) and who dies
+	// there ("balancer" or a member ID).
+	Dest     string `json:"dest,omitempty"`
+	MigPoint string `json:"mig_point,omitempty"`
+	Victim   string `json:"victim,omitempty"`
 }
 
 func (e Event) describe() string {
@@ -100,6 +120,13 @@ func (e Event) describe() string {
 		return fmt.Sprintf("nodefault %s fail=%v drain=%v recover=%v", e.Member, e.Fail, e.Drain, e.Recover)
 	case EvSolverMode:
 		return fmt.Sprintf("solvermode %s mode=%s disable_warm=%v", e.Member, e.SolverMode, e.DisableWarm)
+	case EvMigrate:
+		if e.MigPoint != "" {
+			return fmt.Sprintf("migrate %s -> %s crash=%s victim=%s", e.App, e.Dest, e.MigPoint, e.Victim)
+		}
+		return fmt.Sprintf("migrate %s -> %s", e.App, e.Dest)
+	case EvRollingRestart:
+		return "rolling-restart"
 	case EvStep:
 		return "step"
 	default:
@@ -172,7 +199,7 @@ func Generate(cfg Config) []Event {
 			s.AdvanceMs = ev.AdvanceMs
 			ev = s
 			apps = append(apps, id)
-		case roll < 550: // step (under MixedSolver, some become mode flips)
+		case roll < 550: // step (flags carve sub-bands out of this range)
 			if cfg.MixedSolver && roll < 340 {
 				// Carved from the step band only when the flag is set, so
 				// runs without it draw the identical RNG sequence.
@@ -180,6 +207,36 @@ func Generate(cfg Config) []Event {
 				ev.Member = memberID(rng.Intn(members))
 				ev.SolverMode = []string{"exact", "auto", "approx"}[rng.Intn(3)]
 				ev.DisableWarm = rng.Intn(4) == 0
+				break
+			}
+			if cfg.Migrations && roll >= 460 {
+				// Carved from the top of the step band, again only under
+				// the flag; disjoint from the MixedSolver carve so the two
+				// compose.
+				switch {
+				case roll < 520: // cross-cluster migration
+					if len(apps) == 0 {
+						ev.Kind = EvStep
+						break
+					}
+					ev.Kind = EvMigrate
+					ev.App = apps[rng.Intn(len(apps))]
+					ev.Dest = memberID(rng.Intn(members))
+					if rng.Intn(3) == 0 {
+						points := []string{"post-prepare", "mid-commit", "pre-delete", "post-delete"}
+						ev.MigPoint = points[rng.Intn(len(points))]
+						if v := rng.Intn(members + 1); v == 0 {
+							ev.Victim = "balancer"
+						} else {
+							ev.Victim = memberID(v - 1)
+						}
+					}
+				case roll < 545: // planned drain
+					ev.Kind = EvDrainMember
+					ev.Member = memberID(rng.Intn(members))
+				default: // rolling restart
+					ev.Kind = EvRollingRestart
+				}
 				break
 			}
 			ev.Kind = EvStep

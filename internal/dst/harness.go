@@ -72,7 +72,20 @@ type harness struct {
 	// the audit's Lost list, cleared the moment it leaves it.
 	lostSince map[string]int
 
+	// migarm is the pending migration crash point (nil = none): when the
+	// balancer's migration hook reaches this point for this app, the
+	// victim dies. Armed by EvMigrate, fired at most once.
+	migarm *migCrashArm
+
 	trace bytes.Buffer
+}
+
+// migCrashArm is one armed migration crash: at which protocol point,
+// for which app, and who dies there ("balancer" or a member ID).
+type migCrashArm struct {
+	point  federation.MigPoint
+	app    string
+	victim string
 }
 
 // memberAlgorithm picks the fleet's LRA algorithm factory: the default
@@ -181,13 +194,46 @@ func newHarness(cfg Config) (*harness, error) {
 			Clock:          h.clock,
 		},
 		Clock: h.clock,
+		Logf:  func(format string, args ...any) { h.tracef("    [fed] "+format, args...) },
 	}
 	fleet, err := federation.NewFleet(fc)
 	if err != nil {
 		return nil, err
 	}
 	h.fleet = fleet
+	// The migration hook is the crash injector for the two-phase
+	// protocol. It is installed unconditionally (it is inert until an
+	// EvMigrate arms it) and fires at most once per arming: a "balancer"
+	// victim makes the hook return true, which drops the wire response
+	// before its ledger transition — the exact window a balancer crash
+	// would strand; a member victim is killed mid-protocol instead.
+	h.fleet.Balancer.SetMigrationHook(func(point federation.MigPoint, app string) bool {
+		arm := h.migarm
+		if arm == nil || arm.point != point || arm.app != app {
+			return false
+		}
+		h.migarm = nil
+		if arm.victim == "balancer" {
+			h.tracef("    !! balancer crash simulated at %s for %s", point, app)
+			return true
+		}
+		if !h.crashed[arm.victim] {
+			h.fleet.CrashMember(arm.victim)
+			h.crashed[arm.victim] = true
+			h.tracef("    !! %s killed at %s for %s", arm.victim, point, app)
+		}
+		return false
+	})
 	return h, nil
+}
+
+// syncCrashed refreshes the harness's crashed-member view from the fault
+// gates: a rolling restart crashes and revives members from inside
+// Fleet.Step, where the event loop cannot see it happen.
+func (h *harness) syncCrashed() {
+	for _, m := range h.fleet.Members {
+		h.crashed[m.ID] = m.Gate.Crashed()
+	}
 }
 
 // RunSeed generates the seed's schedule and runs it.
@@ -310,6 +356,7 @@ func (h *harness) apply(i int, ev Event) *Violation {
 	case EvStep:
 		h.round++
 		h.guard(func() { h.fleet.Step(h.now) })
+		h.syncCrashed()
 
 	case EvCrash:
 		id := ev.Member
@@ -365,6 +412,13 @@ func (h *harness) apply(i int, ev Event) *Violation {
 	case EvHeal:
 		h.fleet.HealMember(ev.Member)
 		h.partitioned[ev.Member] = false
+		if h.cfg.Migrations {
+			// Heal also lifts a planned drain, so generated schedules
+			// exercise drain cancellation (and its uncordon) too. Gated on
+			// the flag: cancellation issues a wire request, which would
+			// shift legacy seeds' fault-gate counters.
+			h.fleet.Balancer.CancelDrain(ev.Member)
+		}
 
 	case EvNodeFault:
 		h.applyNodeFault(ev)
@@ -384,6 +438,39 @@ func (h *harness) apply(i int, ev Event) *Violation {
 			break
 		}
 		h.member(ev.Member).Med.SetSolverMode(ilp.ParseMode(ev.SolverMode), ev.DisableWarm)
+
+	case EvMigrate:
+		if !h.acked[ev.App] {
+			h.tracef("    noop: never acked")
+			break
+		}
+		if ev.MigPoint != "" {
+			h.migarm = &migCrashArm{
+				point:  federation.MigPoint(ev.MigPoint),
+				app:    ev.App,
+				victim: ev.Victim,
+			}
+		}
+		if err := h.fleet.Balancer.Migrate(ev.App, ev.Dest); err != nil {
+			h.migarm = nil
+			h.tracef("    not started: %v", err)
+			break
+		}
+		h.tracef("    migration started")
+
+	case EvDrainMember:
+		if err := h.fleet.Balancer.DrainMember(ev.Member); err != nil {
+			h.tracef("    not started: %v", err)
+			break
+		}
+		h.tracef("    drain started")
+
+	case EvRollingRestart:
+		if !h.fleet.StartRollingRestart() {
+			h.tracef("    noop: rolling restart already active")
+			break
+		}
+		h.tracef("    rolling restart started")
 	}
 	return nil
 }
@@ -447,6 +534,9 @@ func (h *harness) firstPlacedApp() string {
 func (h *harness) settle() *Violation {
 	h.tracef("settle: healing faults, restarting crashed members")
 	h.armed = ""
+	// A pending migration crash point is an unexploded fault, exactly
+	// like an armed torn-WAL kill: settle defuses both.
+	h.migarm = nil
 	for _, cj := range h.cjs {
 		cj.KillAt = 0
 	}
@@ -471,15 +561,41 @@ func (h *harness) settle() *Violation {
 		}
 	}
 	// Run the fleet until the audit is clean, bounded; then hold it to
-	// the strict standard.
-	const minSteps, maxSteps = 20, 80
+	// the strict standard. Under Migrations the bound is much larger: a
+	// rolling restart caught mid-flight cycles every member through
+	// drain → crash → restart → re-confirm, one at a time, and every
+	// in-flight migration must finish or roll back before quiescence. A
+	// single unfittable move is the worst case: its commit phase burns
+	// the full waits budget watching the destination's own
+	// requeue-then-reject cycle before each of its bounded retries, so
+	// one resolution can cost several hundred rounds on its own.
+	const minSteps = 20
+	maxSteps := 80
+	if h.cfg.Migrations {
+		maxSteps = 1500
+	}
 	for i := 0; i < maxSteps; i++ {
 		h.now = h.now.Add(25 * time.Millisecond)
 		h.round++
 		h.fleet.Step(h.now)
+		h.syncCrashed()
+		// A rolling restart aborting mid-settle can leave its current
+		// member down; quiescence means everyone comes back.
+		for _, m := range h.fleet.Members {
+			if !h.crashed[m.ID] {
+				continue
+			}
+			if err := m.Restart(h.now); err != nil {
+				return &Violation{Name: VioRestartFailed, Event: -1, Detail: err.Error()}
+			}
+			h.crashed[m.ID] = false
+		}
 		if i+1 >= minSteps {
 			rep := h.fleet.Balancer.Audit(h.now)
-			if len(rep.Lost) == 0 && rep.Reconciling == 0 {
+			if len(rep.Lost) == 0 && rep.Reconciling == 0 &&
+				len(h.fleet.Balancer.Migrations()) == 0 &&
+				len(h.fleet.Balancer.ActiveDrains()) == 0 &&
+				!h.fleet.RollingActive() {
 				break
 			}
 		}
@@ -487,6 +603,13 @@ func (h *harness) settle() *Violation {
 	rep := h.fleet.Balancer.Audit(h.now)
 	h.tracef("settle: routed=%d placed=%d degraded=%d rejected=%d reconciling=%d lost=%d",
 		rep.Routed, rep.Placed, rep.Degraded, rep.Rejected, rep.Reconciling, len(rep.Lost))
+	if migs := h.fleet.Balancer.Migrations(); len(migs) > 0 {
+		return &Violation{
+			Name:   VioMigration,
+			Event:  -1,
+			Detail: fmt.Sprintf("after settle these migrations are still unresolved: %v", migs),
+		}
+	}
 	if v := h.check(-1, true); v != nil {
 		return v
 	}

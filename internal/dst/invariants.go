@@ -76,6 +76,17 @@ func (h *harness) checkAudit(event int, strict bool) *Violation {
 	}
 	cur := make(map[string]bool, len(rep.Lost))
 	for _, id := range rep.Lost {
+		// A migrating app must never look lost: the protocol holds the
+		// source copy until the destination copy is deployed, and the
+		// audit knows both ends. Lost mid-migration means the two-phase
+		// bookkeeping dropped a copy it should have been tracking.
+		if src, dest, ok := h.fleet.Balancer.MigrationOf(id); ok {
+			return &Violation{
+				Name:   VioMigration,
+				Event:  event,
+				Detail: fmt.Sprintf("%s reported lost while migrating %s -> %s", id, src, dest),
+			}
+		}
 		cur[id] = true
 		if _, ok := h.lostSince[id]; !ok {
 			h.lostSince[id] = h.round
@@ -138,8 +149,14 @@ func (h *harness) checkCopies(event int, strict bool) *Violation {
 		for _, id := range h.fleet.Balancer.AmbiguousMarks(app) {
 			marks[id] = true
 		}
+		// Mid-migration the app legitimately exists on both protocol ends:
+		// the source until DELETE, the destination from COMMIT on.
+		migSrc, migDest, migrating := h.fleet.Balancer.MigrationOf(app)
 		for _, holder := range holders {
 			if holder == home || marks[holder] {
+				continue
+			}
+			if migrating && (holder == migSrc || holder == migDest) {
 				continue
 			}
 			return &Violation{

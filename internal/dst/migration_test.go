@@ -1,0 +1,152 @@
+package dst
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestMigrationSchedulesGated checks the generator's gating both ways:
+// Migrations schedules contain migrate/drain/rolling events, and leaving
+// the flag off keeps them out entirely (so existing seeds draw the
+// identical RNG sequence and replay byte-for-byte).
+func TestMigrationSchedulesGated(t *testing.T) {
+	count := func(evs []Event) (mig, drain, roll int) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case EvMigrate:
+				mig++
+			case EvDrainMember:
+				drain++
+			case EvRollingRestart:
+				roll++
+			}
+		}
+		return
+	}
+	for _, seed := range []int64{3, 17} {
+		plain := Generate(Config{Seed: seed, Events: 300})
+		if m, d, r := count(plain); m+d+r != 0 {
+			t.Fatalf("seed %d: %d/%d/%d migration events without the flag", seed, m, d, r)
+		}
+		mig := Generate(Config{Seed: seed, Events: 300, Migrations: true})
+		if m, d, _ := count(mig); m == 0 || d == 0 {
+			t.Fatalf("seed %d: Migrations schedule has %d migrates, %d drains", seed, m, d)
+		}
+	}
+}
+
+// TestMigrationDeterministic extends the byte-identical-trace contract
+// to the movement machinery: with two-phase migrations (including armed
+// crash points), drains and rolling restarts in the schedule, the same
+// seed must still produce the same bytes.
+func TestMigrationDeterministic(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		cfg := Config{Seed: seed, Events: 200, Migrations: true}
+		evs1 := Generate(cfg)
+		evs2 := Generate(cfg)
+		if !reflect.DeepEqual(evs1, evs2) {
+			t.Fatalf("seed %d: Generate is not deterministic under Migrations", seed)
+		}
+		r1 := Run(cfg, evs1)
+		r2 := Run(cfg, evs2)
+		if !bytes.Equal(r1.Trace, r2.Trace) {
+			t.Fatalf("seed %d: traces differ between two Migrations runs", seed)
+		}
+	}
+}
+
+// TestMigrationSmokeSweep runs a seed range with the full fault schedule
+// plus migrations, drains and rolling restarts mixed in. Every invariant
+// — nothing acked lost, no unexplained duplicate, no migration left
+// incoherent — must hold on every path.
+func TestMigrationSmokeSweep(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		r := RunSeed(Config{Seed: seed, Events: 150, Migrations: true})
+		if r.Violation != nil {
+			t.Errorf("seed %d: %v\ntrace tail:\n%s", seed, r.Violation, traceTail(r.Trace, 3000))
+		}
+	}
+}
+
+// TestMigrationCrashPointSweep is the acceptance matrix stated as a
+// directed schedule rather than a random one: an app is migrated with a
+// crash armed at each protocol point, for each victim — the balancer
+// (transition dropped before it is recorded), the source member, the
+// destination member — then the run settles. Every cell must end with
+// the app alive on exactly one member and nothing acked lost; that is
+// what the strict settle invariants check.
+func TestMigrationCrashPointSweep(t *testing.T) {
+	points := []string{"post-prepare", "mid-commit", "pre-delete", "post-delete"}
+	victims := []string{"balancer", "cluster-0", "cluster-1"}
+	for _, point := range points {
+		for _, victim := range victims {
+			name := point + "/" + victim
+			t.Run(name, func(t *testing.T) {
+				evs := []Event{
+					{Kind: EvSubmit, AdvanceMs: 25, App: "app-001", Containers: 2, MemMB: 512, VCores: 1},
+					{Kind: EvStep, AdvanceMs: 25},
+					{Kind: EvStep, AdvanceMs: 25},
+					// cluster-0 is the home for a fresh 3-member fleet
+					// (identical members rank by ID); migrate to cluster-1
+					// with the crash armed.
+					{Kind: EvMigrate, AdvanceMs: 25, App: "app-001", Dest: "cluster-1", MigPoint: point, Victim: victim},
+				}
+				for i := 0; i < 12; i++ {
+					evs = append(evs, Event{Kind: EvStep, AdvanceMs: 25})
+				}
+				r := Run(Config{Seed: 1, Migrations: true}, evs)
+				if r.Violation != nil {
+					t.Fatalf("%s: %v\ntrace tail:\n%s", name, r.Violation, traceTail(r.Trace, 4000))
+				}
+			})
+		}
+	}
+}
+
+// TestMigrationArtifactRoundTrip pins the Migrations flag into the
+// artifact schema: a schedule with migrate events replayed from disk
+// must rebuild the harness with the migration machinery armed, or the
+// settle bound and heal semantics silently differ.
+func TestMigrationArtifactRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 11, Events: 150, Migrations: true}
+	art := NewArtifact(cfg, nil, Generate(cfg), 150)
+	if !art.Config().Migrations {
+		t.Fatal("artifact round-trip dropped Migrations")
+	}
+	r1 := Run(cfg, art.Events)
+	r2 := art.Replay()
+	if !bytes.Equal(r1.Trace, r2.Trace) {
+		t.Fatal("artifact replay trace differs from direct run")
+	}
+}
+
+// TestRollingRestartDirected drives a rolling restart of the whole fleet
+// under a steady trickle of submissions: every member must be cycled
+// (crashed, rebuilt from journal, re-confirmed live) and the strict
+// settle invariants — nothing lost, no duplicates, journals coherent —
+// must hold at the end.
+func TestRollingRestartDirected(t *testing.T) {
+	var evs []Event
+	appID := func(i int) string {
+		return []string{"app-001", "app-002", "app-003", "app-004", "app-005", "app-006"}[i]
+	}
+	for i := 0; i < 6; i++ {
+		evs = append(evs,
+			Event{Kind: EvSubmit, AdvanceMs: 25, App: appID(i), Containers: 1 + i%3, MemMB: 512, VCores: 1},
+			Event{Kind: EvStep, AdvanceMs: 25},
+		)
+	}
+	evs = append(evs, Event{Kind: EvRollingRestart, AdvanceMs: 25})
+	for i := 0; i < 60; i++ {
+		evs = append(evs, Event{Kind: EvStep, AdvanceMs: 25})
+		if i%10 == 5 {
+			evs = append(evs, Event{Kind: EvSubmit, AdvanceMs: 25,
+				App: "app-1" + appID(i/10)[4:], Containers: 1, MemMB: 256, VCores: 1})
+		}
+	}
+	r := Run(Config{Seed: 2, Migrations: true}, evs)
+	if r.Violation != nil {
+		t.Fatalf("%v\ntrace tail:\n%s", r.Violation, traceTail(r.Trace, 4000))
+	}
+}

@@ -34,6 +34,8 @@ type RouteConfig struct {
 	Sleep func(time.Duration)
 	// Clock is the time source (nil = time.Now).
 	Clock func() time.Time
+	// Migrate tunes cross-cluster migration, drains and rebalancing.
+	Migrate MigrateConfig
 }
 
 func (c RouteConfig) attemptTimeout() time.Duration {
@@ -74,6 +76,15 @@ type routedApp struct {
 	demand   resource.Vector
 	home     string
 	degraded bool
+	// priority is the submission's shedding priority, reused by drains to
+	// evacuate the most important apps first.
+	priority int
+	// mig is the app's in-flight two-phase migration, nil when not
+	// moving. Ledger writes to it follow write-ahead discipline — intent
+	// flags before each wire operation, phase transitions only after the
+	// acknowledged success — so a crash at any instant resumes cleanly
+	// (see migrator.go).
+	mig *migration
 	// ambiguous lists members whose submit attempt timed out after the
 	// request may have been accepted: until reconciled, the app might be
 	// duplicated there.
@@ -108,6 +119,15 @@ type Balancer struct {
 	// they are retried every round ahead of the rotating window instead of
 	// waiting out a full ledger rotation. Bounded to homeCheckBatch.
 	recheck map[string]bool
+	// drains tracks in-flight member evacuations by member ID.
+	drains map[string]*drainState
+	// migDurations records completed migrations' start-to-finish latency.
+	migDurations []time.Duration
+	// stepSeq counts control rounds for the periodic rebalance trigger.
+	stepSeq int
+	// migHook is the deterministic-simulation crash-point hook (see
+	// SetMigrationHook).
+	migHook func(MigPoint, string) bool
 
 	logf func(format string, args ...any)
 }
@@ -214,7 +234,7 @@ func (b *Balancer) Submit(req *server.SubmitRequest) (home string, err error) {
 			case code == http.StatusAccepted, code == http.StatusConflict:
 				// 409 means the member already holds this app (a previous
 				// ambiguous attempt landed): adopt it as the home.
-				b.record(req.ID, body, demand, id, ambiguous)
+				b.record(req.ID, body, demand, id, ambiguous, req.Priority)
 				b.Stats.AddRouted()
 				return id, nil
 			case code == http.StatusTooManyRequests, code == http.StatusServiceUnavailable:
@@ -234,7 +254,7 @@ func (b *Balancer) Submit(req *server.SubmitRequest) (home string, err error) {
 		// resources: record the app homeless so reconcileAmbiguous can
 		// adopt a live copy or delete it — an orphan must not outlive the
 		// failed routing.
-		b.record(req.ID, body, demand, "", ambiguous)
+		b.record(req.ID, body, demand, "", ambiguous, req.Priority)
 		b.logf("federation: routing %s failed with %d ambiguous attempts; awaiting reconciliation", req.ID, len(ambiguous))
 	}
 	return "", fmt.Errorf("federation: no member accepted %s within %d rounds", req.ID, b.cfg.maxRounds())
@@ -264,13 +284,13 @@ func (b *Balancer) trySubmit(memberID string, body []byte) (int, error) {
 
 // record notes an app's home in the ledger (and any ambiguous members
 // other than the home itself).
-func (b *Balancer) record(id string, body []byte, demand resource.Vector, home string, ambiguous map[string]bool) {
+func (b *Balancer) record(id string, body []byte, demand resource.Vector, home string, ambiguous map[string]bool, priority int) {
 	delete(ambiguous, home)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	a := b.routed[id]
 	if a == nil {
-		a = &routedApp{id: id, body: body, demand: demand, ambiguous: make(map[string]bool)}
+		a = &routedApp{id: id, body: body, demand: demand, ambiguous: make(map[string]bool), priority: priority}
 		b.routed[id] = a
 	}
 	a.home = home
@@ -305,6 +325,9 @@ func (b *Balancer) Step(now time.Time) {
 			b.failover(id, now, debits, newly[id])
 		}
 	}
+	b.stepDrains(now, debits)
+	b.stepMigrations(now, debits)
+	b.stepRebalance(now, debits)
 	b.reconcileHomes(now, debits)
 	b.retryDegraded(now, debits)
 	b.reconcileAmbiguous(now)
@@ -334,7 +357,17 @@ func (b *Balancer) failover(deadID string, now time.Time, debits map[string]reso
 	for _, a := range refugees {
 		b.mu.Lock()
 		a.ambiguous[deadID] = true
+		migrating := a.mig != nil
 		b.mu.Unlock()
+		if migrating {
+			// A refugee mid-migration may already have a live copy on its
+			// destination: adopt it instead of placing a third copy.
+			if b.failoverViaMigration(a, now) {
+				b.Stats.AddFailoverReplaced()
+				continue
+			}
+			// The migration aborted; fall through to ordinary placement.
+		}
 		if home, ok := b.placeOnce(a, now, debits); ok {
 			b.Stats.AddFailoverReplaced()
 			b.logf("federation: %s re-homed %s -> %s", a.id, deadID, home)
@@ -374,7 +407,9 @@ func (b *Balancer) reconcileHomes(now time.Time, debits map[string]resource.Vect
 	b.mu.Lock()
 	var homed []string
 	for id, a := range b.routed {
-		if a.home != "" && !a.degraded && !a.removed {
+		// Migrating apps are skipped: mid-DELETE their home legitimately
+		// answers "removed", and the migration machinery owns their fate.
+		if a.home != "" && !a.degraded && !a.removed && a.mig == nil {
 			homed = append(homed, id)
 		}
 	}
@@ -408,7 +443,7 @@ func (b *Balancer) reconcileHomes(now time.Time, debits map[string]resource.Vect
 		b.mu.Lock()
 		a := b.routed[id]
 		var home string
-		if a != nil && !a.degraded && !a.removed {
+		if a != nil && !a.degraded && !a.removed && a.mig == nil {
 			home = a.home
 		}
 		b.mu.Unlock()
@@ -433,7 +468,7 @@ func (b *Balancer) reconcileHomes(now time.Time, debits map[string]resource.Vect
 			continue
 		}
 		b.mu.Lock()
-		if a.home == home && !a.degraded && !a.removed {
+		if a.home == home && !a.degraded && !a.removed && a.mig == nil {
 			a.home = ""
 			a.degraded = true
 			b.degradedOrder = append(b.degradedOrder, a.id)
@@ -538,9 +573,18 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 			members = append(members, id)
 		}
 		home, removed := a.home, a.removed
+		var migDest string
+		if a.mig != nil {
+			migDest = a.mig.dest
+		}
 		b.mu.Unlock()
 		sort.Strings(members)
 		for _, id := range members {
+			if id == migDest {
+				// A live copy on a migration's destination is the move in
+				// progress, not a duplicate; the protocol resolves it.
+				continue
+			}
 			if b.scout.State(id, now) == Dead {
 				// Unreachable AND possibly recoverable from its journal:
 				// keep the mark until the member answers again (restart)
@@ -587,7 +631,7 @@ func (b *Balancer) reconcileAmbiguous(now time.Time) {
 			}
 		}
 		b.mu.Lock()
-		if a.home == "" && !a.degraded && len(a.ambiguous) == 0 {
+		if a.home == "" && !a.degraded && a.mig == nil && len(a.ambiguous) == 0 {
 			// Every ambiguous attempt resolved: a tombstone has nothing
 			// left to delete, a failed routing left nothing behind — in
 			// both cases the entry is done.
@@ -619,27 +663,24 @@ func (b *Balancer) getStatus(memberID, appID string) (int, server.StatusResponse
 	return resp.StatusCode, sr, nil
 }
 
-// remove deletes an app from one member.
+// remove deletes an app from one member, treating any non-200 answer as
+// an error.
 func (b *Balancer) remove(memberID, appID string) error {
-	m := b.scout.Member(memberID)
-	if m == nil {
-		return fmt.Errorf("unknown member %s", memberID)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.attemptTimeout())
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, "http://"+memberID+"/v1/lras/"+appID, nil)
+	code, err := b.removeCode(memberID, appID)
 	if err != nil {
 		return err
 	}
-	resp, err := m.Client().Do(req)
-	if err != nil {
-		return err
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remove %s from %s: status %d", appID, memberID, resp.StatusCode)
+	if code != http.StatusOK {
+		return fmt.Errorf("remove %s from %s: status %d", appID, memberID, code)
 	}
 	return nil
+}
+
+// removeCode deletes an app from one member and returns the status code
+// — the migration DELETE phase needs to tell 404 (an earlier crashed
+// DELETE already went through: success) from a refusal.
+func (b *Balancer) removeCode(memberID, appID string) (int, error) {
+	return b.bareRequest(memberID, http.MethodDelete, "/v1/lras/"+appID)
 }
 
 // Home returns the member currently homing the app ("" when degraded or
@@ -692,6 +733,10 @@ func (b *Balancer) Remove(appID string) error {
 	if a == nil {
 		return fmt.Errorf("federation: unknown app %s", appID)
 	}
+	// An in-flight migration dies with the removal: the abort marks a
+	// possibly-landed destination copy ambiguous, and the tombstone path
+	// below guarantees it gets deleted.
+	b.abortMigration(a, "app removed")
 	if !a.degraded && a.home != "" {
 		if err := b.remove(a.home, appID); err != nil {
 			return err
@@ -775,12 +820,51 @@ func (b *Balancer) Audit(now time.Time) AuditReport {
 	for _, a := range apps {
 		b.mu.Lock()
 		home, degraded, ambiguous, removed := a.home, a.degraded, len(a.ambiguous), a.removed
+		var migDest string
+		migTried := false
+		if a.mig != nil {
+			migDest = a.mig.dest
+			migTried = a.mig.tried
+		}
 		b.mu.Unlock()
+		// liveAt answers whether a member currently holds a live copy, and
+		// whether it could be asked at all.
+		liveAt := func(member string) (live, reachable bool) {
+			if b.scout.State(member, now) == Dead {
+				return false, false
+			}
+			code, sr, err := b.getStatus(member, a.id)
+			if err != nil {
+				return false, false
+			}
+			if code != http.StatusOK {
+				return false, true
+			}
+			return sr.State == "queued" || sr.State == "deployed" || sr.State == "pending", true
+		}
 		switch {
 		case removed:
 			// A removal tombstone: the submitter asked for teardown; the
 			// entry only persists until its ambiguous marks drain.
 			rep.Reconciling++
+		case migDest != "":
+			// Mid-migration the app is legitimately live on its source, its
+			// destination, or both during the handoff; a crash anywhere in
+			// between resolves through the protocol's resume paths. It is
+			// never Lost: the balancer holds the body and both endpoints.
+			srcLive, srcReach := liveAt(home)
+			destLive, destReach := false, true
+			if !srcLive && migTried {
+				destLive, destReach = liveAt(migDest)
+			}
+			switch {
+			case srcLive || destLive:
+				rep.Placed++
+			case !srcReach || !destReach:
+				rep.OnDead++
+			default:
+				rep.Reconciling++
+			}
 		case degraded:
 			rep.Degraded++
 		case home == "" && ambiguous > 0:

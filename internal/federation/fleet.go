@@ -107,6 +107,33 @@ type Fleet struct {
 	done   chan struct{}
 	mu     sync.Mutex
 	byID   map[string]*Member
+	// runCtx is the context Start ran under; a member restarted while the
+	// fleet is live gets its scheduling loop relaunched on it.
+	runCtx context.Context
+	// rolling is the in-flight rolling restart, nil when idle.
+	rolling *rollingState
+}
+
+// rollPhase is a rolling restart's position for the current member.
+type rollPhase int
+
+const (
+	rollDraining   rollPhase = iota // waiting for the member's drain
+	rollConfirming                  // restarted; awaiting detector health
+)
+
+// rollingState walks the fleet one member at a time: drain, restart from
+// journal, rejoin, then re-confirm health before touching the next — at
+// most one member is ever down on purpose.
+type rollingState struct {
+	queue []string // members not yet restarted (current first)
+	phase rollPhase
+	// drainStarted marks that the current member's drain was issued:
+	// after that the rolling only observes DrainActive. Re-issuing
+	// DrainMember every round would resurrect a drain that finished by
+	// exhausting its retry budget — with a fresh budget, forever.
+	drainStarted bool
+	restartedAt  time.Time
 }
 
 // NewFleet builds the federation.
@@ -166,6 +193,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 func (f *Fleet) Start(ctx context.Context) {
 	ctx, f.cancel = context.WithCancel(ctx)
 	f.done = make(chan struct{})
+	f.mu.Lock()
+	f.runCtx = ctx
+	f.mu.Unlock()
 	for _, m := range f.Members {
 		m.Start(ctx)
 	}
@@ -178,7 +208,9 @@ func (f *Fleet) Start(ctx context.Context) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				f.Balancer.Step(f.cfg.Clock())
+				now := f.cfg.Clock()
+				f.Balancer.Step(now)
+				f.stepRolling(now)
 			}
 		}
 	}()
@@ -192,6 +224,7 @@ func (f *Fleet) Step(now time.Time) {
 		m.Step()
 	}
 	f.Balancer.Step(now)
+	f.stepRolling(now)
 }
 
 // Close stops the loops and closes every member's journal.
@@ -245,7 +278,115 @@ func (f *Fleet) RestartMember(id string) bool {
 		}
 		return false
 	}
+	// A fleet running in real time relaunches the member's scheduling
+	// loop; Step-driven fleets drive the member synchronously instead.
+	f.mu.Lock()
+	runCtx := f.runCtx
+	f.mu.Unlock()
+	if runCtx != nil && runCtx.Err() == nil {
+		m.Start(runCtx)
+	}
 	return true
+}
+
+// DrainFleetMember starts a planned evacuation of one member via the
+// balancer (the chaos layer's drain hook). Reports whether the member
+// exists.
+func (f *Fleet) DrainFleetMember(id string) bool {
+	return f.Balancer.DrainMember(id) == nil
+}
+
+// StartRollingRestart begins a fleet-wide rolling restart: members are
+// drained, restarted from their journals, and re-confirmed healthy one
+// at a time. Reports false if one is already running.
+func (f *Fleet) StartRollingRestart() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rolling != nil {
+		return false
+	}
+	f.rolling = &rollingState{queue: f.MemberIDs(), phase: rollDraining}
+	if f.cfg.Logf != nil {
+		f.cfg.Logf("federation: rolling restart started (%d members)", len(f.rolling.queue))
+	}
+	return true
+}
+
+// RollingActive reports whether a rolling restart is in flight.
+func (f *Fleet) RollingActive() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rolling != nil
+}
+
+// stepRolling advances the rolling restart one control round.
+func (f *Fleet) stepRolling(now time.Time) {
+	f.mu.Lock()
+	r := f.rolling
+	f.mu.Unlock()
+	if r == nil {
+		return
+	}
+	if len(r.queue) == 0 {
+		f.mu.Lock()
+		f.rolling = nil
+		f.mu.Unlock()
+		f.Stats.AddRollingRestart()
+		if f.cfg.Logf != nil {
+			f.cfg.Logf("federation: rolling restart complete")
+		}
+		return
+	}
+	current := r.queue[0]
+	switch r.phase {
+	case rollDraining:
+		if !r.drainStarted {
+			if err := f.Balancer.DrainMember(current); err != nil {
+				return
+			}
+			r.drainStarted = true
+			return
+		}
+		if f.Balancer.DrainActive(current) {
+			return // still evacuating
+		}
+		// Drained (possibly as a no-op if the member died organically):
+		// restart it from its journal. A member already crashed by chaos
+		// is revived the same way.
+		if !f.byID[current].Gate.Crashed() {
+			f.CrashMember(current)
+		}
+		if !f.RestartMember(current) {
+			// Unrecoverable journal: abort the rolling restart rather than
+			// marching on and taking a second member down.
+			f.mu.Lock()
+			f.rolling = nil
+			f.mu.Unlock()
+			if f.cfg.Logf != nil {
+				f.cfg.Logf("federation: rolling restart aborted: %s did not come back", current)
+			}
+			return
+		}
+		r.restartedAt = now
+		r.phase = rollConfirming
+		if f.cfg.Logf != nil {
+			f.cfg.Logf("federation: rolling restart: %s restarted from journal", current)
+		}
+	case rollConfirming:
+		// Gate on the failure detector re-confirming health with a report
+		// fresher than the restart before touching the next member.
+		rep, ok := f.Scout.LastReport(current)
+		if f.Scout.State(current, now) == Dead || !ok || !rep.At.After(r.restartedAt) {
+			return
+		}
+		f.Balancer.CancelDrain(current) // lift the cordon
+		r.queue = r.queue[1:]
+		r.phase = rollDraining
+		r.drainStarted = false
+		if f.cfg.Logf != nil {
+			f.cfg.Logf("federation: rolling restart: %s healthy again (%d to go)", current, len(r.queue))
+		}
+	}
 }
 
 // PartitionMember implements the chaos FleetTarget: the member keeps

@@ -45,6 +45,10 @@ type Report struct {
 	QueueDepth  int
 	CorePending int
 	Draining    bool
+	// Reserved is outstanding PREPARE-phase capacity holds on the member;
+	// Free above is already debited by it server-side.
+	Reserved     resource.Vector
+	Reservations int
 }
 
 // memberProbe is the scout's per-member record.
@@ -137,6 +141,9 @@ func (s *Scout) probe(m *Member) (Report, error) {
 		QueueDepth:  st.QueueDepth,
 		CorePending: st.CorePending,
 		Draining:    st.Draining,
+
+		Reserved:     resource.New(st.ReservedMemMB, st.ReservedVCores),
+		Reservations: st.Reservations,
 	}, nil
 }
 

@@ -23,6 +23,14 @@ type FedStats struct {
 	degradedRecovered atomic.Int64
 	reconciled        atomic.Int64
 	rerouted          atomic.Int64
+
+	migrationsStarted   atomic.Int64
+	migrationsCompleted atomic.Int64
+	migrationsAborted   atomic.Int64
+	drainsStarted       atomic.Int64
+	drainsCompleted     atomic.Int64
+	rollingRestarts     atomic.Int64
+	rebalanceMoves      atomic.Int64
 }
 
 // AddRouted counts a submission accepted by some member (202).
@@ -113,6 +121,52 @@ func (s *FedStats) Reconciled() int { return int(s.reconciled.Load()) }
 // Rerouted returns the anti-entropy re-route count.
 func (s *FedStats) Rerouted() int { return int(s.rerouted.Load()) }
 
+// AddMigrationStarted counts a cross-cluster migration entering PREPARE.
+func (s *FedStats) AddMigrationStarted() { s.migrationsStarted.Add(1) }
+
+// AddMigrationCompleted counts a migration whose app now lives on the
+// destination with the source copy deleted.
+func (s *FedStats) AddMigrationCompleted() { s.migrationsCompleted.Add(1) }
+
+// AddMigrationAborted counts a migration rolled back (reservation
+// released, app stays home).
+func (s *FedStats) AddMigrationAborted() { s.migrationsAborted.Add(1) }
+
+// AddDrainStarted counts a DrainMember evacuation starting.
+func (s *FedStats) AddDrainStarted() { s.drainsStarted.Add(1) }
+
+// AddDrainCompleted counts a member drain finishing (evacuated, or
+// converged as a no-op after organic failover won the race).
+func (s *FedStats) AddDrainCompleted() { s.drainsCompleted.Add(1) }
+
+// AddRollingRestart counts a completed fleet-wide rolling restart.
+func (s *FedStats) AddRollingRestart() { s.rollingRestarts.Add(1) }
+
+// AddRebalanceMove counts a migration triggered by the periodic
+// dominant-share rebalancer.
+func (s *FedStats) AddRebalanceMove() { s.rebalanceMoves.Add(1) }
+
+// MigrationsStarted returns the migrations-entered-PREPARE count.
+func (s *FedStats) MigrationsStarted() int { return int(s.migrationsStarted.Load()) }
+
+// MigrationsCompleted returns the completed-migration count.
+func (s *FedStats) MigrationsCompleted() int { return int(s.migrationsCompleted.Load()) }
+
+// MigrationsAborted returns the aborted-migration count.
+func (s *FedStats) MigrationsAborted() int { return int(s.migrationsAborted.Load()) }
+
+// DrainsStarted returns the started-drain count.
+func (s *FedStats) DrainsStarted() int { return int(s.drainsStarted.Load()) }
+
+// DrainsCompleted returns the completed-drain count.
+func (s *FedStats) DrainsCompleted() int { return int(s.drainsCompleted.Load()) }
+
+// RollingRestarts returns the completed-rolling-restart count.
+func (s *FedStats) RollingRestarts() int { return int(s.rollingRestarts.Load()) }
+
+// RebalanceMoves returns the rebalancer-triggered migration count.
+func (s *FedStats) RebalanceMoves() int { return int(s.rebalanceMoves.Load()) }
+
 // Table renders the counters as a two-column summary table.
 func (s *FedStats) Table(title string) *Table {
 	t := NewTable(title, "metric", "value")
@@ -129,5 +183,12 @@ func (s *FedStats) Table(title string) *Table {
 	t.AddRow("degraded recovered", s.DegradedRecovered())
 	t.AddRow("reconciled", s.Reconciled())
 	t.AddRow("rerouted", s.Rerouted())
+	t.AddRow("migrations started", s.MigrationsStarted())
+	t.AddRow("migrations completed", s.MigrationsCompleted())
+	t.AddRow("migrations aborted", s.MigrationsAborted())
+	t.AddRow("drains started", s.DrainsStarted())
+	t.AddRow("drains completed", s.DrainsCompleted())
+	t.AddRow("rolling restarts", s.RollingRestarts())
+	t.AddRow("rebalance moves", s.RebalanceMoves())
 	return t
 }

@@ -22,6 +22,11 @@ type ServerStats struct {
 	submitErrors  atomic.Int64
 	removed       atomic.Int64
 	drainFlushed  atomic.Int64
+
+	reserved            atomic.Int64
+	reservationExpired  atomic.Int64
+	reservationReleased atomic.Int64
+	reservationConsumed atomic.Int64
 }
 
 // AddAdmitted counts a submission accepted into the submit queue.
@@ -59,6 +64,21 @@ func (s *ServerStats) AddRemoved() { s.removed.Add(1) }
 // (and its journal) during graceful drain rather than being dropped.
 func (s *ServerStats) AddDrainFlushed() { s.drainFlushed.Add(1) }
 
+// AddReserved counts a capacity reservation created (migration PREPARE).
+func (s *ServerStats) AddReserved() { s.reserved.Add(1) }
+
+// AddReservationExpired counts a reservation dropped by the TTL sweep —
+// the leak backstop for a crashed or partitioned reserver.
+func (s *ServerStats) AddReservationExpired() { s.reservationExpired.Add(1) }
+
+// AddReservationReleased counts an explicit reservation release
+// (migration ABORT).
+func (s *ServerStats) AddReservationReleased() { s.reservationReleased.Add(1) }
+
+// AddReservationConsumed counts a reservation retired because its
+// submission landed (migration COMMIT reached this member).
+func (s *ServerStats) AddReservationConsumed() { s.reservationConsumed.Add(1) }
+
 // Admitted returns the admitted-submission count.
 func (s *ServerStats) Admitted() int { return int(s.admitted.Load()) }
 
@@ -86,6 +106,18 @@ func (s *ServerStats) Removed() int { return int(s.removed.Load()) }
 // DrainFlushed returns the drain-flushed submission count.
 func (s *ServerStats) DrainFlushed() int { return int(s.drainFlushed.Load()) }
 
+// Reserved returns the reservations-created count.
+func (s *ServerStats) Reserved() int { return int(s.reserved.Load()) }
+
+// ReservationExpired returns the TTL-swept reservation count.
+func (s *ServerStats) ReservationExpired() int { return int(s.reservationExpired.Load()) }
+
+// ReservationReleased returns the explicitly released reservation count.
+func (s *ServerStats) ReservationReleased() int { return int(s.reservationReleased.Load()) }
+
+// ReservationConsumed returns the consumed-by-landing reservation count.
+func (s *ServerStats) ReservationConsumed() int { return int(s.reservationConsumed.Load()) }
+
 // Shed returns the total submissions turned away for overload reasons
 // (watermarks + queue full + deadline expiry), excluding rate limiting.
 func (s *ServerStats) Shed() int {
@@ -104,5 +136,9 @@ func (s *ServerStats) Table(title string) *Table {
 	t.AddRow("submit errors", s.SubmitErrors())
 	t.AddRow("removed", s.Removed())
 	t.AddRow("drain flushed", s.DrainFlushed())
+	t.AddRow("reservations made", s.Reserved())
+	t.AddRow("reservations expired", s.ReservationExpired())
+	t.AddRow("reservations released", s.ReservationReleased())
+	t.AddRow("reservations consumed", s.ReservationConsumed())
 	return t
 }

@@ -29,6 +29,7 @@ func (s *Server) Run(ctx context.Context) {
 // step is one scheduling-loop iteration (exposed to tests via Step).
 func (s *Server) step() {
 	now := s.now()
+	s.sweepReservations(now)
 	for _, e := range s.queue.DropExpired(now) {
 		s.Stats.AddExpired()
 		s.setOutcome(e.app.ID, "expired")

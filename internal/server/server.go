@@ -54,6 +54,10 @@ type Config struct {
 	// DefaultTenant is used when a request carries no tenant ("" =
 	// "default").
 	DefaultTenant string
+	// ReservationTTL bounds capacity reservations whose request carries
+	// no TTL (0 = 30s). Expired reservations are swept by the scheduling
+	// loop.
+	ReservationTTL time.Duration
 	// Clock is the time source (nil = time.Now). Tests inject a manual
 	// clock to drive rate-limit refill and deadline expiry
 	// deterministically.
@@ -111,6 +115,16 @@ type Server struct {
 	journalLag  atomic.Int64
 
 	draining atomic.Bool
+	// cordoned is the operator drain (POST /v1/drain): admission refuses
+	// and stats report Draining, but existing work keeps being served and
+	// the state is reversible (DELETE /v1/drain) — unlike the one-way
+	// process-shutdown draining above. Both are in-memory only: a restart
+	// rejoins uncordoned.
+	cordoned atomic.Bool
+
+	// resv holds capacity reservations (the PREPARE half of cross-cluster
+	// migration). In-memory only: a restart releases everything.
+	resv *reservationTable
 
 	// retrySeq keys the deterministic jitter of overload Retry-After
 	// hints, so consecutive rejected clients get distinct retry horizons.
@@ -156,6 +170,7 @@ func New(med *core.Medea, cfg Config) *Server {
 		deadlines: make(map[string]time.Time),
 		outcomes:  make(map[string]string),
 		coreApps:  make(map[string]bool),
+		resv:      newReservationTable(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/lras", s.handleSubmit)
@@ -164,6 +179,10 @@ func New(med *core.Medea, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/constraints", s.handleConstraints)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/reservations", s.handleReserve)
+	s.mux.HandleFunc("DELETE /v1/reservations/{id}", s.handleUnreserve)
+	s.mux.HandleFunc("POST /v1/drain", s.handleCordon)
+	s.mux.HandleFunc("DELETE /v1/drain", s.handleUncordon)
 	return s
 }
 
@@ -370,7 +389,7 @@ func (s *Server) retryAfterHint() time.Duration {
 // admission watermarks, bounded queue — in that order, all without the
 // core lock.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	if s.refusing() {
 		s.Stats.AddRejectedDrain()
 		writeRetryAfter(w, s.retryAfterHint())
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
@@ -389,17 +408,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tenant = s.cfg.defaultTenant()
 	}
 	now := s.now()
-	if ok, retry := s.rl.Allow(tenant, now); !ok {
-		s.Stats.AddThrottled()
-		writeRetryAfter(w, retry)
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "throttled", Reason: "tenant rate share exhausted"})
-		return
-	}
-	if ok, reason := s.adm.Admit(s.load()); !ok {
-		s.Stats.AddShedOverload()
-		writeRetryAfter(w, s.retryAfterHint())
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded", Reason: reason})
-		return
+	// A submission arriving under a capacity reservation already passed
+	// admission when the reservation was granted — re-checking rate or
+	// watermark here could strand a migration mid-COMMIT behind organic
+	// traffic. It still competes for the bounded queue like everyone else.
+	if !s.resv.has(req.ID) {
+		if ok, retry := s.rl.Allow(tenant, now); !ok {
+			s.Stats.AddThrottled()
+			writeRetryAfter(w, retry)
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "throttled", Reason: "tenant rate share exhausted"})
+			return
+		}
+		if ok, reason := s.adm.Admit(s.load()); !ok {
+			s.Stats.AddShedOverload()
+			writeRetryAfter(w, s.retryAfterHint())
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded", Reason: reason})
+			return
+		}
 	}
 	app, err := buildApplication(&req)
 	if err != nil {
@@ -522,7 +547,7 @@ type ConstraintRequest struct {
 }
 
 func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	if s.refusing() {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
 		return
 	}
@@ -591,6 +616,13 @@ type StatsResponse struct {
 	TotalVCores int64 `json:"total_vcores"`
 	NodesUp     int   `json:"nodes_up"`
 	NodesTotal  int   `json:"nodes_total"`
+
+	// Reservation self-report: outstanding PREPARE holds. The Free*
+	// figures above are already debited by these, so a scout ranking
+	// members never double-books promised capacity.
+	ReservedMemMB  int64 `json:"reserved_mem_mb"`
+	ReservedVCores int64 `json:"reserved_vcores"`
+	Reservations   int   `json:"reservations"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -599,6 +631,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rejected := len(s.med.Rejected)
 	free, total, up, nodes := s.med.Capacity()
 	s.mu.Unlock()
+	reserved, nresv := s.resv.snapshot()
+	// Debit outstanding reservations from the self-reported free capacity
+	// (clamped at zero per dimension) so federation ranking sees promised
+	// space as taken.
+	freeMem := free.MemoryMB - reserved.MemoryMB
+	if freeMem < 0 {
+		freeMem = 0
+	}
+	freeCores := free.VCores - reserved.VCores
+	if freeCores < 0 {
+		freeCores = 0
+	}
 	_, dims := s.adm.Shedding()
 	resp := StatsResponse{
 		Admitted:      s.Stats.Admitted(),
@@ -614,23 +658,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueCap:      s.cfg.queueCap(),
 		CorePending:   int(s.corePending.Load()),
 		JournalLag:    int(s.journalLag.Load()),
-		Draining:      s.draining.Load(),
+		Draining:      s.refusing(),
 		Shedding:      dims,
 		Tenants:       s.rl.Snapshot(),
 		Deployed:      deployed,
 		Rejected:      rejected,
-		FreeMemMB:     free.MemoryMB,
-		FreeVCores:    free.VCores,
+		FreeMemMB:     freeMem,
+		FreeVCores:    freeCores,
 		TotalMemMB:    total.MemoryMB,
 		TotalVCores:   total.VCores,
 		NodesUp:       up,
 		NodesTotal:    nodes,
+
+		ReservedMemMB:  reserved.MemoryMB,
+		ReservedVCores: reserved.VCores,
+		Reservations:   nresv,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+	if s.refusing() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
